@@ -1,0 +1,29 @@
+# Convenience targets for the FBS reproduction.
+
+PYTHON ?= python3
+
+.PHONY: install test bench examples reports clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	@for script in examples/*.py; do \
+		echo "=== $$script ==="; \
+		$(PYTHON) $$script || exit 1; \
+		echo; \
+	done
+
+# Regenerate benchmarks/reports/*.txt (the EXPERIMENTS.md inputs).
+reports: bench
+	@ls -1 benchmarks/reports/
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null || true
+	rm -rf .pytest_cache .hypothesis

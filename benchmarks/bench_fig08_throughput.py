@@ -1,0 +1,48 @@
+"""Figure 8: throughput of GENERIC vs FBS NOP vs FBS DES+MD5.
+
+Paper numbers (Pentium 133, dedicated 10 Mb/s Ethernet):
+GENERIC ~7,700 kb/s; FBS NOP within a few percent of GENERIC ("FBS
+incurs very little overhead outside of the cryptographic operations");
+FBS DES+MD5 ~3,400 kb/s ("a heavy penalty is paid ... when
+cryptographic operations are included").
+"""
+
+from repro.bench import (
+    FIGURE8_CONFIGS,
+    measure_tcp_throughput,
+    measure_udp_throughput,
+    render_table,
+)
+
+PAPER_TTCP = {"generic": 7700.0, "fbs-nop": 7500.0, "fbs-des-md5": 3400.0}
+
+
+def run_figure8(ttcp_bytes=400_000, rcp_bytes=300_000):
+    """Produce the Figure 8 rows (ttcp and rcp, kb/s)."""
+    rows = []
+    for config in FIGURE8_CONFIGS:
+        ttcp = measure_udp_throughput(config, total_bytes=ttcp_bytes)
+        rcp = measure_tcp_throughput(config, total_bytes=rcp_bytes)
+        paper = PAPER_TTCP.get(config)
+        rows.append(
+            (
+                config,
+                f"{ttcp.kbps:.0f}",
+                f"{rcp.kbps:.0f}",
+                f"{paper:.0f}" if paper else "-",
+            )
+        )
+    return rows
+
+
+def test_figure8_throughput(benchmark, report_writer):
+    rows = benchmark.pedantic(run_figure8, rounds=1, iterations=1)
+    table = render_table(
+        ["configuration", "ttcp kb/s", "rcp kb/s", "paper ttcp kb/s"], rows
+    )
+    report_writer("fig08_throughput", "Figure 8: throughput\n" + table)
+
+    by_config = {row[0]: float(row[1]) for row in rows}
+    assert by_config["generic"] > by_config["fbs-nop"] > by_config["fbs-des-md5"]
+    assert by_config["fbs-nop"] > 0.9 * by_config["generic"]
+    assert 1.8 < by_config["generic"] / by_config["fbs-des-md5"] < 3.0

@@ -1,0 +1,52 @@
+"""Figure 9(a)/(b): flow size distributions (packets and bytes).
+
+Paper observation: "the majority of flows are short, consist of few
+packets and transfer only a small amount of data ... there are a few
+long-lived flows (e.g., for NFS) that carry the bulk of the traffic."
+"""
+
+from repro.bench import render_cdf, render_table
+from repro.traces.analysis import FlowAnalysis
+
+PACKET_POINTS = [1, 2, 5, 10, 50, 100, 1000, 10_000]
+BYTE_POINTS = [100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000]
+
+
+def run_figure9(trace, threshold=600.0):
+    analysis = FlowAnalysis.from_trace(trace, threshold=threshold)
+    return (
+        analysis.size_packets_cdf(PACKET_POINTS),
+        analysis.size_bytes_cdf(BYTE_POINTS),
+        analysis.summary(),
+    )
+
+
+def test_figure9_flow_size(benchmark, lan_trace, www_trace, report_writer):
+    packets_cdf, bytes_cdf, summary = benchmark.pedantic(
+        run_figure9, args=(lan_trace,), rounds=1, iterations=1
+    )
+    www_packets_cdf, _, www_summary = run_figure9(www_trace)
+    text = "\n\n".join(
+        [
+            render_cdf("Figure 9(a): flow size CDF (packets) -- campus LAN", packets_cdf, "pkts"),
+            render_cdf("Figure 9(b): flow size CDF (bytes) -- campus LAN", bytes_cdf, "bytes"),
+            render_table(
+                ["metric", "LAN", "WWW server"],
+                [
+                    (k, f"{v:.4g}", f"{www_summary.get(k, float('nan')):.4g}")
+                    for k, v in summary.items()
+                ],
+            ),
+            render_cdf("flow size CDF (packets) -- WWW server trace", www_packets_cdf, "pkts"),
+        ]
+    )
+    report_writer("fig09_flow_size", text)
+    # The WWW trace is all short conversations: even more skewed.
+    assert dict(www_packets_cdf)[10] > 0.5
+
+    # Shape: most flows are small...
+    by_point = dict(packets_cdf)
+    assert by_point[10] > 0.4
+    # ...while a heavy tail exists and carries the bulk of the bytes.
+    assert by_point[10_000] >= by_point[1000] > by_point[10]
+    assert summary["bytes_top_10pct_flows"] > 0.8

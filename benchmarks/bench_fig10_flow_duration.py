@@ -1,0 +1,36 @@
+"""Figure 10: flow duration distribution.
+
+Paper observation: most flows are short-lived; a few (NFS-style) span
+the whole measurement period.
+"""
+
+from repro.bench import render_cdf
+from repro.traces.analysis import FlowAnalysis
+
+DURATION_POINTS = [0.1, 1.0, 10.0, 60.0, 300.0, 900.0, 3600.0]
+
+
+def run_figure10(trace, threshold=600.0):
+    analysis = FlowAnalysis.from_trace(trace, threshold=threshold)
+    return analysis.duration_cdf(DURATION_POINTS), analysis.summary()
+
+
+def test_figure10_flow_duration(benchmark, lan_trace, report_writer):
+    cdf_points, summary = benchmark.pedantic(
+        run_figure10, args=(lan_trace,), rounds=1, iterations=1
+    )
+    text = render_cdf("Figure 10: flow duration CDF (seconds)", cdf_points, "s")
+    text += (
+        f"\n\nmedian duration: {summary['median_duration']:.1f} s"
+        f"\np90 duration:    {summary['p90_duration']:.1f} s"
+    )
+    report_writer("fig10_flow_duration", text)
+
+    by_point = dict(cdf_points)
+    # Majority short-lived...
+    assert by_point[60.0] > 0.35
+    # ...but some flows persist for a large fraction of the trace.
+    assert by_point[3600.0] <= 1.0
+    assert summary["p90_duration"] > 10 * summary["median_duration"] or summary[
+        "median_duration"
+    ] < 60.0

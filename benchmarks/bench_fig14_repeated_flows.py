@@ -1,0 +1,49 @@
+"""Figure 14: repeated flows vs THRESHOLD.
+
+Paper observation: "the number of repeated flows, i.e., different flows
+with the same 5-tuple ..., drops off quickly as THRESHOLD increases.
+One way to interpret this is that THRESHOLD values of 300s or 600s
+provide good differentiation between flows, while maintaining reasonable
+stability in the flow dynamics."
+"""
+
+from repro.bench import render_table
+from repro.traces.analysis import FlowAnalysis
+
+THRESHOLDS = (150.0, 300.0, 600.0, 900.0, 1200.0)
+
+
+def run_figure14(trace):
+    rows = []
+    for threshold in THRESHOLDS:
+        analysis = FlowAnalysis.from_trace(trace, threshold=threshold)
+        rows.append(
+            (
+                int(threshold),
+                analysis.repeated_flows,
+                analysis.total_flows,
+                f"{analysis.repeated_flows / max(1, analysis.total_flows) * 100:.1f}%",
+            )
+        )
+    return rows
+
+
+def test_figure14_repeated_flows(benchmark, lan_trace, www_trace, report_writer):
+    rows = benchmark.pedantic(run_figure14, args=(lan_trace,), rounds=1, iterations=1)
+    www_rows = run_figure14(www_trace)
+    table = render_table(
+        ["THRESHOLD (s)", "repeated flows", "total flows", "repeat fraction"], rows
+    )
+    www_table = render_table(
+        ["THRESHOLD (s)", "repeated flows", "total flows", "repeat fraction"], www_rows
+    )
+    report_writer(
+        "fig14_repeated_flows",
+        "Figure 14: repeated flows vs THRESHOLD -- campus LAN\n" + table
+        + "\n\nWWW server trace (ephemeral port reuse across hits)\n" + www_table,
+    )
+
+    repeats = [row[1] for row in rows]
+    # Strict drop-off across the sweep, fast at first.
+    assert repeats[0] > repeats[1] > repeats[2] >= repeats[3] >= repeats[4]
+    assert repeats[-1] < repeats[0] / 4

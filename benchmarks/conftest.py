@@ -1,0 +1,44 @@
+"""Shared fixtures for the per-figure benchmark targets.
+
+Every bench writes its table to ``benchmarks/reports/<name>.txt`` (and
+prints it, visible with ``pytest -s``) so the paper-vs-reproduction
+comparison in EXPERIMENTS.md can be regenerated at will.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.traces.workloads import CampusLanWorkload, WwwServerWorkload
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+#: The standard evaluation trace: the paper's "workgroup wide LAN"
+#: stand-in.  One hour, 16 desktops plus file/compute/name servers.
+LAN_SEED = 42
+LAN_DURATION = 3600.0
+LAN_CLIENTS = 16
+
+
+@pytest.fixture(scope="session")
+def lan_trace():
+    return CampusLanWorkload(
+        duration=LAN_DURATION, clients=LAN_CLIENTS, seed=LAN_SEED
+    ).generate()
+
+
+@pytest.fixture(scope="session")
+def www_trace():
+    return WwwServerWorkload(duration=LAN_DURATION, seed=LAN_SEED + 1).generate()
+
+
+@pytest.fixture(scope="session")
+def report_writer():
+    REPORT_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        (REPORT_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return write

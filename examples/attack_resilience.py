@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Attack resilience demo: the threats of Sections 2.2, 6 and 7.1.
+
+Runs four attack scenarios on the simulated network and prints what an
+on-path adversary achieves against FBS and against the schemes the
+paper compares with:
+
+1. replay -- inside and outside the freshness window,
+2. cut-and-paste -- ciphertext splicing against MAC-less host-pair
+   keying vs FBS,
+3. the Section 7.1 port-reuse attack, with and without the
+   wait-THRESHOLD countermeasure,
+4. key compromise blast radius -- FBS vs host-pair keying vs SKIP.
+
+Run:  python examples/attack_resilience.py
+"""
+
+from repro.attacks import (
+    run_compromise_analysis,
+    run_cutpaste_attack,
+    run_port_reuse_attack,
+    run_replay_attack,
+)
+
+
+def main() -> None:
+    print("=== 1. Replay (Section 6.2) " + "=" * 40)
+    replay = run_replay_attack(seed=1)
+    print(f"original datagram delivered: {replay.original_delivered}")
+    print(
+        f"replay inside freshness window: "
+        f"{'ACCEPTED (documented residual exposure)' if replay.replays_accepted_in_window else 'rejected'}"
+    )
+    print(
+        f"replay after window closed:     "
+        f"{'accepted' if replay.replays_accepted_after_window else 'REJECTED by timestamp check'}"
+    )
+    assert replay.replays_accepted_after_window == 0
+
+    print("\n=== 2. Cut-and-paste (Section 2.2) " + "=" * 33)
+    for scheme in ("host-pair", "fbs"):
+        outcome = run_cutpaste_attack(scheme, seed=2)
+        verdict = "SECRET LEAKED" if outcome.secret_leaked else "splice rejected"
+        print(f"{scheme:>10}: {verdict}")
+        if outcome.secret_leaked:
+            print(f"            attacker read: {outcome.delivered_payload[:60]!r}")
+    assert run_cutpaste_attack("fbs", seed=2).secret_leaked is False
+
+    print("\n=== 3. Port reuse (Section 7.1) " + "=" * 36)
+    naive = run_port_reuse_attack(countermeasure=False, seed=3)
+    fixed = run_port_reuse_attack(countermeasure=True, seed=3)
+    print(
+        f"without countermeasure: port rebound={naive.port_rebound}, "
+        f"plaintexts recovered={naive.plaintexts_recovered}"
+    )
+    if naive.recovered:
+        print(f"            attacker read: {naive.recovered!r}")
+    print(
+        f"with wait-THRESHOLD fix: port rebound={fixed.port_rebound}, "
+        f"plaintexts recovered={fixed.plaintexts_recovered}"
+    )
+    assert fixed.plaintexts_recovered == 0
+
+    print("\n=== 4. Key compromise blast radius (Sections 6.1, 7.4) " + "=" * 13)
+    print(f"{'scheme':>10}  {'one stolen key exposes':>24}  flows on wire")
+    for scheme in ("fbs", "host-pair", "skip"):
+        report = run_compromise_analysis(scheme, flows=6, datagrams_per_flow=4, seed=4)
+        print(
+            f"{scheme:>10}  {report.exposure * 100:>22.0f}%  {report.flows_on_wire}"
+        )
+    fbs_report = run_compromise_analysis("fbs", flows=6, datagrams_per_flow=4, seed=4)
+    assert fbs_report.exposure < 0.2
+
+    print(
+        "\nconclusion: FBS confines a key compromise to a single flow,"
+        "\nrejects splices and stale replays, and the port-reuse hole is"
+        "\nclosed by the in_pcballoc wait the paper proposes."
+    )
+
+
+if __name__ == "__main__":
+    main()

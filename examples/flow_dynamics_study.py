@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Flow dynamics study: the Section 7.3 measurement methodology.
+
+Generates a synthetic campus-LAN packet trace (the stand-in for the
+paper's tcpdump captures), feeds it through the flow simulation
+programs, and prints the flow characteristics behind Figures 9-14:
+
+* flow size distributions (packets / bytes),
+* flow duration distribution,
+* key cache miss rates vs cache size,
+* active flow counts over time and across THRESHOLD values,
+* repeated flows vs THRESHOLD.
+
+Run:  python examples/flow_dynamics_study.py
+"""
+
+from repro.bench import render_cdf, render_table
+from repro.netsim.addresses import IPAddress
+from repro.traces.analysis import FlowAnalysis
+from repro.traces.flowsim import CacheSimulator
+from repro.traces.workloads import CampusLanWorkload
+
+
+def main() -> None:
+    print("generating one hour of campus LAN traffic...")
+    workload = CampusLanWorkload(duration=3600.0, clients=16, seed=42)
+    trace = workload.generate()
+    print(
+        f"  {len(trace)} datagrams, {trace.total_bytes / 1e6:.1f} MB, "
+        f"{len(trace.hosts())} hosts\n"
+    )
+
+    analysis = FlowAnalysis.from_trace(trace, threshold=600.0)
+    summary = analysis.summary()
+
+    print(render_cdf(
+        "Flow size (packets) -- Figure 9(a)",
+        analysis.size_packets_cdf([1, 2, 5, 10, 100, 1000, 100_000]),
+        "pkts",
+    ))
+    print()
+    print(render_cdf(
+        "Flow size (bytes) -- Figure 9(b)",
+        analysis.size_bytes_cdf([100, 1_000, 10_000, 1_000_000, 100_000_000]),
+        "bytes",
+    ))
+    print()
+    print(render_cdf(
+        "Flow duration -- Figure 10",
+        analysis.duration_cdf([1.0, 10.0, 60.0, 600.0, 3600.0]),
+        "s",
+    ))
+
+    print(
+        f"\nthe top 10% of flows carry "
+        f"{analysis.bytes_carried_by_top_flows(0.10) * 100:.1f}% of all bytes"
+        " (the long-lived NFS/FTP flows)"
+    )
+
+    # Cache behaviour from the file server's viewpoint -- Figure 11.
+    print("\nKey cache miss rate vs size (file server) -- Figure 11")
+    rows = []
+    for size in (2, 8, 32, 128):
+        stats = CacheSimulator(size, threshold=600.0).send_side(
+            trace, workload.file_server
+        )
+        rows.append((size, f"{stats.miss_rate * 100:.2f}%"))
+    print(render_table(["TFKC size", "miss rate"], rows))
+
+    # THRESHOLD sweeps -- Figures 13 and 14.
+    print("\nTHRESHOLD sweep -- Figures 13/14")
+    rows = []
+    for threshold in (300.0, 600.0, 900.0, 1200.0):
+        sweep = FlowAnalysis.from_trace(trace, threshold=threshold)
+        series = sweep.active_flow_series()
+        rows.append(
+            (
+                int(threshold),
+                f"{series.mean:.0f}",
+                series.peak,
+                sweep.repeated_flows,
+            )
+        )
+    print(
+        render_table(
+            ["THRESHOLD (s)", "mean active flows", "peak", "repeated flows"], rows
+        )
+    )
+    print(
+        "\nreading: active flows grow with THRESHOLD then flatten past ~900 s,"
+        "\nwhile repeated flows (same 5-tuple, new flow) vanish -- the paper's"
+        "\nargument that THRESHOLD of 300-600 s is the sweet spot."
+    )
+
+
+if __name__ == "__main__":
+    main()

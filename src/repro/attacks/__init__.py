@@ -1,0 +1,39 @@
+"""Attack harness: the threats Sections 2.2, 6, and 7.1 analyze.
+
+Each attack is a runnable scenario on the simulated network with an
+on-path adversary.  The scenarios double as security regression tests
+(in ``tests/attacks``) and feed the security-comparison bench:
+
+* :mod:`repro.attacks.adversary` -- the on-path attacker: records every
+  frame via a promiscuous tap and injects raw frames.
+* :mod:`repro.attacks.replay` -- replay inside and outside the
+  freshness window (Section 6.2's partial protection).
+* :mod:`repro.attacks.cutpaste` -- the cut-and-paste splice against
+  MAC-less host-pair keying (Section 2.2), and FBS's rejection of it.
+* :mod:`repro.attacks.port_reuse` -- the Section 7.1 port-reallocation
+  attack and the wait-THRESHOLD countermeasure.
+* :mod:`repro.attacks.compromise` -- key-compromise blast radius: what
+  a stolen flow key / master key / hourly key decrypts under FBS,
+  host-pair keying, and SKIP (Sections 6.1, 7.4).
+"""
+
+from repro.attacks.adversary import OnPathAdversary
+from repro.attacks.replay import ReplayOutcome, run_replay_attack
+from repro.attacks.cutpaste import CutPasteOutcome, run_cutpaste_attack
+from repro.attacks.port_reuse import PortReuseOutcome, run_port_reuse_attack
+from repro.attacks.compromise import CompromiseReport, run_compromise_analysis
+from repro.attacks.traffic_analysis import TrafficAnalysisReport, run_traffic_analysis
+
+__all__ = [
+    "OnPathAdversary",
+    "ReplayOutcome",
+    "run_replay_attack",
+    "CutPasteOutcome",
+    "run_cutpaste_attack",
+    "PortReuseOutcome",
+    "run_port_reuse_attack",
+    "CompromiseReport",
+    "run_compromise_analysis",
+    "TrafficAnalysisReport",
+    "run_traffic_analysis",
+]

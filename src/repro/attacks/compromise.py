@@ -1,0 +1,172 @@
+"""Key-compromise blast radius: FBS vs. host-pair keying vs. SKIP.
+
+Section 6.1: "Under host-pair keying, easy access to the master key is
+available as it is used to directly encrypt the traffic.  Under FBS, the
+master key is never used for encryption, and breaking a flow key does
+not help in recovering the master key nor compromising other flow keys."
+
+Section 7.4 (vs. SKIP): "a compromised (flow) key only affects datagrams
+within that flow -- it does not provide access to the master key which
+can be used to 'unlock' all datagrams between a pair of hosts."
+
+The analysis runs a mixed workload (several flows between two hosts)
+over each scheme, records all ciphertext, steals exactly one
+traffic-protection key of the scheme's natural granularity, and counts
+how many of the recorded datagrams that single key decrypts.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.attacks.adversary import OnPathAdversary
+from repro.core.deploy import FBSDomain
+from repro.core.header import FBSHeader
+from repro.core.keying import KeyDerivation, Principal
+from repro.crypto.des import DES
+from repro.crypto.modes import decrypt_cbc
+from repro.baselines.hostpair import HostPairKeying
+from repro.baselines.skip import SkipHostKeying
+from repro.netsim.ipv4 import IPProtocol
+from repro.netsim.network import Network
+from repro.netsim.sockets import UdpSocket
+
+__all__ = ["CompromiseReport", "run_compromise_analysis"]
+
+_MARKER = b"flowdata:"
+
+
+@dataclass
+class CompromiseReport:
+    """Result of one scheme's compromise analysis."""
+
+    scheme: str
+    total_datagrams: int
+    decryptable_with_one_key: int
+    flows_on_wire: int
+
+    @property
+    def exposure(self) -> float:
+        """Fraction of recorded traffic one stolen key exposes."""
+        if not self.total_datagrams:
+            return 0.0
+        return self.decryptable_with_one_key / self.total_datagrams
+
+
+def _traffic(net, alice, bob, flows: int, datagrams_per_flow: int) -> None:
+    """Several concurrent conversations alice -> bob."""
+    inboxes = [UdpSocket(bob, 6000 + i) for i in range(flows)]
+    senders = [UdpSocket(alice, 3000 + i) for i in range(flows)]
+    for burst in range(datagrams_per_flow):
+        for i, sender in enumerate(senders):
+            sender.sendto(
+                _MARKER + struct.pack(">HH", i, burst) + b"x" * 64,
+                bob.address,
+                6000 + i,
+            )
+    net.sim.run()
+    for inbox in inboxes:
+        assert len(inbox.received) == datagrams_per_flow
+
+
+def _decrypts(key: bytes, iv: bytes, body: bytes) -> bool:
+    """Does DES-CBC(key) decrypt body to recognizable plaintext?"""
+    try:
+        plaintext = decrypt_cbc(DES(key), iv, body)
+    except ValueError:
+        return False
+    return _MARKER in plaintext
+
+
+def run_compromise_analysis(
+    scheme: str, flows: int = 6, datagrams_per_flow: int = 4, seed: int = 0
+) -> CompromiseReport:
+    """Steal one traffic key under ``scheme``; count what it unlocks."""
+    net = Network(seed=seed)
+    net.add_segment("lan", "10.6.0.0")
+    alice = net.add_host("alice", segment="lan")
+    bob = net.add_host("bob", segment="lan")
+    adversary = OnPathAdversary(net.sim, net.segment("lan"))
+    domain = FBSDomain(seed=seed + 9)
+
+    if scheme == "fbs":
+        fbs_a = domain.enroll_host(alice, encrypt_all=True)
+        domain.enroll_host(bob, encrypt_all=True)
+    elif scheme == "host-pair":
+        mkd_a = domain.enroll_principal(Principal.from_ip(alice.address))
+        mkd_b = domain.enroll_principal(Principal.from_ip(bob.address))
+        hp_a = HostPairKeying(alice, mkd_a)
+        alice.install_security(hp_a)
+        bob.install_security(HostPairKeying(bob, mkd_b))
+    elif scheme == "skip":
+        mkd_a = domain.enroll_principal(Principal.from_ip(alice.address))
+        mkd_b = domain.enroll_principal(Principal.from_ip(bob.address))
+        skip_a = SkipHostKeying(alice, mkd_a)
+        alice.install_security(skip_a)
+        bob.install_security(SkipHostKeying(bob, mkd_b))
+    else:
+        raise ValueError(f"unknown scheme {scheme!r}")
+
+    _traffic(net, alice, bob, flows, datagrams_per_flow)
+
+    # Everything alice sent to bob's data ports, as recorded on the wire.
+    recorded = [
+        p
+        for p in adversary.captured_packets()
+        if p.header.src == alice.address and p.header.proto == IPProtocol.UDP
+    ]
+    total = len(recorded)
+
+    decryptable = 0
+    flows_on_wire = flows
+    if scheme == "fbs":
+        # Steal exactly one flow key: derive it the way the endpoint did,
+        # using the (stolen) sfl from one datagram plus the master key --
+        # but the attacker only gets the *flow key*, so model that by
+        # deriving one and trying it everywhere.
+        sample = recorded[0]
+        header = FBSHeader.decode(sample.payload, domain.config.suite)
+        kdf = KeyDerivation(domain.config.suite)
+        master = fbs_a.endpoint.mkd.master_key(Principal.from_ip(bob.address))
+        stolen = kdf.flow_key(
+            header.sfl,
+            master,
+            Principal.from_ip(alice.address),
+            Principal.from_ip(bob.address),
+        )
+        sfls = set()
+        for packet in recorded:
+            ph = FBSHeader.decode(packet.payload, domain.config.suite)
+            sfls.add(ph.sfl)
+            body = packet.payload[fbs_a.endpoint.header_size :]
+            if _decrypts(kdf.encryption_key(stolen), ph.iv(), body):
+                decryptable += 1
+        flows_on_wire = len(sfls)
+    elif scheme == "host-pair":
+        stolen = hp_a.master_key_for(Principal.from_ip(bob.address))[:8]
+        for packet in recorded:
+            iv, body = packet.payload[:8], packet.payload[8:]
+            if _decrypts(stolen, iv, body):
+                decryptable += 1
+        flows_on_wire = 1
+    else:  # skip
+        n = 0  # the simulation runs inside one key interval
+        stolen_kijn = skip_a.interval_key(Principal.from_ip(bob.address), n)
+        for packet in recorded:
+            data = packet.payload
+            wrapped = data[4:12]
+            iv = data[12:20]
+            body = data[36:]
+            kp = DES(stolen_kijn).decrypt_block(wrapped)
+            if _decrypts(kp, iv, body):
+                decryptable += 1
+        flows_on_wire = 1
+
+    return CompromiseReport(
+        scheme=scheme,
+        total_datagrams=total,
+        decryptable_with_one_key=decryptable,
+        flows_on_wire=flows_on_wire,
+    )

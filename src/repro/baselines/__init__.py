@@ -1,0 +1,49 @@
+"""Baseline datagram-security schemes the paper positions FBS against.
+
+Section 2 classifies existing approaches into *session-based keying*
+(KDC/ticket schemes like Kerberos; two-party exchanges like Photuris and
+Oakley) and *host-pair keying* (implicit pair master keys, optionally
+with per-datagram keys; SKIP).  Section 7.4 compares FBS with SKIP
+directly.  Each baseline here is a
+:class:`~repro.netsim.host.SecurityModule` installable on a simulated
+host, so the benches can run identical workloads over every scheme and
+compare:
+
+* setup messages and latency (datagram semantics preserved or not),
+* hard vs. soft state,
+* per-datagram crypto work, and
+* key-compromise blast radius.
+
+Modules:
+
+* :mod:`repro.baselines.generic` -- GENERIC: no security (Figure 8).
+* :mod:`repro.baselines.hostpair` -- basic host-pair keying: the
+  implicit DH pair key encrypts traffic directly (Section 2.2), plus
+  the cut-and-paste weakness that entails.
+* :mod:`repro.baselines.perdatagram` -- host-pair keying hardened with
+  per-datagram keys from a cryptographically strong (Blum-Blum-Shub)
+  generator, with the generator cost the paper warns about.
+* :mod:`repro.baselines.kdc` -- KDC/ticket session keying
+  (Kerberos-flavoured).
+* :mod:`repro.baselines.photuris` -- two-party session key exchange
+  (Photuris/Oakley-flavoured).
+* :mod:`repro.baselines.skip` -- SKIP-style zero-message *host* keying
+  (Section 7.4's comparison point).
+"""
+
+from repro.baselines.generic import GenericNull
+from repro.baselines.hostpair import HostPairKeying
+from repro.baselines.perdatagram import PerDatagramHostPair
+from repro.baselines.kdc import KeyDistributionCenter, KdcSessionKeying
+from repro.baselines.photuris import PhoturisSessionKeying
+from repro.baselines.skip import SkipHostKeying
+
+__all__ = [
+    "GenericNull",
+    "HostPairKeying",
+    "PerDatagramHostPair",
+    "KeyDistributionCenter",
+    "KdcSessionKeying",
+    "PhoturisSessionKeying",
+    "SkipHostKeying",
+]

@@ -1,0 +1,30 @@
+"""GENERIC: regular IP with no security processing.
+
+The Figure 8 baseline ("GENERIC ... regular 4.4BSD IP").  Installing
+this module is equivalent to installing nothing; it exists so benches
+can iterate uniformly over {GENERIC, FBS NOP, FBS DES+MD5, ...}.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.netsim.host import SecurityModule
+from repro.netsim.ipv4 import IPv4Packet
+
+__all__ = ["GenericNull"]
+
+
+class GenericNull(SecurityModule):
+    """Pass-through security module."""
+
+    name = "generic"
+
+    def outbound(self, packet: IPv4Packet) -> Optional[IPv4Packet]:
+        return packet
+
+    def inbound(self, packet: IPv4Packet) -> Optional[IPv4Packet]:
+        return packet
+
+    def header_overhead(self) -> int:
+        return 0

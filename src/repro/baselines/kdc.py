@@ -1,0 +1,219 @@
+"""KDC/ticket session keying (Kerberos / Sun RPC / DCE flavour).
+
+Section 2.1: "In a KDC-based approach, before a source sends a datagram,
+it contacts the KDC to request a session key and an authentication
+ticket.  The ticket, encrypted with the destination's secret key, allows
+the destination (and only the destination) to authenticate and decrypt
+transmissions from the source."
+
+Costs and semantics reproduced:
+
+* The first datagram to a new peer triggers a KDC exchange -- **extra
+  messages** and a round-trip delay, violating datagram semantics
+  (counted in ``setup_messages`` / ``setup_delay_seconds``).
+* Both ends hold **hard state**: the source caches the (key, ticket)
+  association; the destination caches the session key after unwrapping
+  the ticket.  Unlike FBS soft state, losing it breaks traffic until a
+  new exchange runs (tests demonstrate this asymmetry).
+
+Wire format per datagram:
+``ticket (24 bytes) | IV (8) | MAC (16) | E_session(payload)`` --
+carrying the ticket in every datagram, as Kerberos-over-UDP
+applications did, lets the receiver rebuild state but inflates every
+packet.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.crypto.des import DES
+from repro.crypto.mac import constant_time_equal, keyed_md5
+from repro.crypto.modes import decrypt_cbc, encrypt_cbc
+from repro.crypto.random import CounterRandom, LinearCongruential
+from repro.netsim.addresses import IPAddress
+from repro.netsim.host import Host, SecurityModule
+from repro.netsim.ipv4 import IPProtocol, IPv4Packet
+
+__all__ = ["KeyDistributionCenter", "KdcSessionKeying"]
+
+_IV_LEN = 8
+_MAC_LEN = 16
+_TICKET_LEN = 24  # E_Kd(session key 8 | source addr 4 | expiry 4) padded
+
+
+class KeyDistributionCenter:
+    """The trusted third party: shares a long-term secret with each host."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._secrets: Dict[int, bytes] = {}
+        self._keygen = CounterRandom(b"kdc" + seed.to_bytes(4, "big"))
+        self.tickets_issued = 0
+
+    def register(self, address: IPAddress) -> bytes:
+        """Provision a host; returns its long-term KDC secret."""
+        secret = self._keygen.next_bytes(8)
+        self._secrets[int(address)] = secret
+        return secret
+
+    def issue(
+        self, source: IPAddress, destination: IPAddress, expiry: int
+    ) -> Optional[tuple]:
+        """Issue (session_key, ticket) for source -> destination."""
+        dest_secret = self._secrets.get(int(destination))
+        if dest_secret is None or int(source) not in self._secrets:
+            return None
+        session_key = self._keygen.next_bytes(8)
+        self.tickets_issued += 1
+        plaintext = session_key + source.to_bytes() + struct.pack(">I", expiry)
+        ticket = encrypt_cbc(DES(dest_secret), b"\x00" * 8, plaintext)
+        assert len(ticket) == _TICKET_LEN
+        return session_key, ticket
+
+
+@dataclass
+class _Association:
+    """Hard state for one peer."""
+
+    session_key: bytes
+    ticket: bytes
+
+
+class KdcSessionKeying(SecurityModule):
+    """Session keying through a KDC, installed at the IP layer."""
+
+    name = "kdc-session"
+
+    def __init__(
+        self,
+        host: Host,
+        kdc: KeyDistributionCenter,
+        kdc_rtt: float = 10e-3,
+        ticket_lifetime: float = 8 * 3600.0,
+        bypass_ports: Optional[set] = None,
+        seed: int = 17,
+    ) -> None:
+        self.host = host
+        self.kdc = kdc
+        self.secret = kdc.register(host.address)
+        self._kdc_rtt = kdc_rtt
+        self._ticket_lifetime = ticket_lifetime
+        self._bypass_ports = bypass_ports if bypass_ports is not None else {500}
+        self._iv_rng = LinearCongruential(seed)
+        # Hard state, both directions.
+        self._send_assocs: Dict[int, _Association] = {}
+        self._recv_keys: Dict[bytes, bytes] = {}  # ticket -> session key
+        # Metrics.
+        self.setup_messages = 0
+        self.setup_delay_seconds = 0.0
+        self.outbound_protected = 0
+        self.inbound_accepted = 0
+        self.inbound_rejected = 0
+
+    def header_overhead(self) -> int:
+        return _TICKET_LEN + _IV_LEN + _MAC_LEN + 8
+
+    def drop_hard_state(self) -> None:
+        """Simulate state loss (crash/reboot).
+
+        Unlike FBS cache flushes, recovery requires a fresh KDC exchange
+        on the send side, and inbound datagrams re-prime receive state
+        from the carried ticket.
+        """
+        self._send_assocs.clear()
+        self._recv_keys.clear()
+
+    # -- hooks -------------------------------------------------------------------
+
+    def outbound(self, packet: IPv4Packet) -> Optional[IPv4Packet]:
+        if self._is_bypass(packet):
+            return packet
+        dst = packet.header.dst
+        assoc = self._send_assocs.get(int(dst))
+        if assoc is None:
+            issued = self.kdc.issue(
+                packet.header.src,
+                dst,
+                expiry=int(self.host.sim.now + self._ticket_lifetime),
+            )
+            if issued is None:
+                self.inbound_rejected += 1
+                return None
+            # The KDC exchange: request + reply, one round trip.
+            self.setup_messages += 2
+            self.setup_delay_seconds += self._kdc_rtt
+            self.host.charge_cpu(self._kdc_rtt)
+            assoc = _Association(session_key=issued[0], ticket=issued[1])
+            self._send_assocs[int(dst)] = assoc
+        iv = self._iv_rng.next_bytes(_IV_LEN)
+        body = encrypt_cbc(DES(assoc.session_key), iv, packet.payload)
+        mac = keyed_md5(assoc.session_key, iv + body)
+        self._charge(len(packet.payload))
+        packet.payload = assoc.ticket + iv + mac + body
+        self.outbound_protected += 1
+        return packet
+
+    def inbound(self, packet: IPv4Packet) -> Optional[IPv4Packet]:
+        if self._is_bypass(packet):
+            return packet
+        data = packet.payload
+        if len(data) < _TICKET_LEN + _IV_LEN + _MAC_LEN:
+            self.inbound_rejected += 1
+            return None
+        ticket = data[:_TICKET_LEN]
+        iv = data[_TICKET_LEN : _TICKET_LEN + _IV_LEN]
+        mac = data[_TICKET_LEN + _IV_LEN : _TICKET_LEN + _IV_LEN + _MAC_LEN]
+        body = data[_TICKET_LEN + _IV_LEN + _MAC_LEN :]
+        session_key = self._recv_keys.get(ticket)
+        if session_key is None:
+            session_key = self._unwrap_ticket(ticket, packet.header.src)
+            if session_key is None:
+                self.inbound_rejected += 1
+                return None
+            self._recv_keys[ticket] = session_key
+        expected = keyed_md5(session_key, iv + body)
+        if not constant_time_equal(expected, mac):
+            self.inbound_rejected += 1
+            return None
+        try:
+            plaintext = decrypt_cbc(DES(session_key), iv, body)
+        except ValueError:
+            self.inbound_rejected += 1
+            return None
+        self._charge(len(plaintext))
+        packet.payload = plaintext
+        self.inbound_accepted += 1
+        return packet
+
+    # -- internals -----------------------------------------------------------------
+
+    def _unwrap_ticket(self, ticket: bytes, claimed_src: IPAddress) -> Optional[bytes]:
+        try:
+            plaintext = decrypt_cbc(DES(self.secret), b"\x00" * 8, ticket)
+        except ValueError:
+            return None
+        if len(plaintext) != 16:
+            return None
+        session_key = plaintext[:8]
+        source = IPAddress.from_bytes(plaintext[8:12])
+        (expiry,) = struct.unpack(">I", plaintext[12:16])
+        if source != claimed_src:
+            return None
+        if self.host.sim.now > expiry:
+            return None
+        return session_key
+
+    def _charge(self, payload_bytes: int) -> None:
+        model = self.host.cost_model
+        full = model.fbs_crypto(payload_bytes, encrypt=True, mac=True)
+        self.host.charge_cpu(max(0.0, full - model.generic_send(payload_bytes)))
+
+    def _is_bypass(self, packet: IPv4Packet) -> bool:
+        if packet.header.proto not in (IPProtocol.TCP, IPProtocol.UDP):
+            return False
+        if len(packet.payload) < 4:
+            return False
+        sport, dport = struct.unpack_from(">HH", packet.payload, 0)
+        return sport in self._bypass_ports or dport in self._bypass_ports

@@ -1,0 +1,194 @@
+"""Two-party session key exchange (Photuris / Oakley flavour).
+
+Section 2.1: "In session-based keying without a third party, a dynamic
+key exchange is performed between the source and destination principals.
+This establishes a shared secret, which can be used to derive a session
+key.  The session key is stored as part of the security association."
+
+The exchange is modelled as the Photuris shape: a cookie round trip
+(anti-clogging) followed by a Diffie-Hellman value exchange -- four
+messages and two modular exponentiations per side before the first data
+byte moves.  The resulting security association is **hard state** on
+both ends, identified by an SPI carried in every datagram.
+
+Peers rendezvous through a shared registry (the simulation stand-in for
+the actual exchange messages); every cost the exchange would incur --
+messages, round trips, modexps -- is charged and counted explicitly.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.crypto.des import DES
+from repro.crypto.mac import constant_time_equal, keyed_md5
+from repro.crypto.md5 import md5
+from repro.crypto.modes import decrypt_cbc, encrypt_cbc
+from repro.crypto.random import LinearCongruential
+from repro.netsim.addresses import IPAddress
+from repro.netsim.host import Host, SecurityModule
+from repro.netsim.ipv4 import IPProtocol, IPv4Packet
+
+__all__ = ["PhoturisSessionKeying"]
+
+_SPI_LEN = 4
+_IV_LEN = 8
+_MAC_LEN = 16
+
+
+@dataclass
+class _SecurityAssociation:
+    """Hard state for one direction of one peer pair."""
+
+    spi: int
+    session_key: bytes
+
+
+class PhoturisSessionKeying(SecurityModule):
+    """Session keying via a two-party exchange, installed at IP.
+
+    Parameters
+    ----------
+    registry:
+        Shared ``{int(address): module}`` map through which the
+        simulated exchange installs the peer's SA.
+    exchange_rtts:
+        Round trips the exchange costs (Photuris: cookie + value = 2).
+    """
+
+    name = "photuris-session"
+
+    def __init__(
+        self,
+        host: Host,
+        registry: Dict[int, "PhoturisSessionKeying"],
+        dh_private_seed: int = 5,
+        rtt: float = 2e-3,
+        exchange_rtts: int = 2,
+        modexp_cost: float = 60e-3,
+        bypass_ports: Optional[set] = None,
+    ) -> None:
+        self.host = host
+        self.registry = registry
+        registry[int(host.address)] = self
+        self._rtt = rtt
+        self._exchange_rtts = exchange_rtts
+        self._modexp_cost = modexp_cost
+        self._bypass_ports = bypass_ports if bypass_ports is not None else {500}
+        self._iv_rng = LinearCongruential(dh_private_seed * 31 + 7)
+        self._dh_seed = dh_private_seed
+        self._next_spi = (dh_private_seed * 1000003) & 0x7FFFFFFF
+        # Hard state.
+        self._send_sas: Dict[int, _SecurityAssociation] = {}
+        self._recv_sas: Dict[int, _SecurityAssociation] = {}  # by SPI
+        # Metrics.
+        self.setup_messages = 0
+        self.setup_delay_seconds = 0.0
+        self.exchanges = 0
+        self.outbound_protected = 0
+        self.inbound_accepted = 0
+        self.inbound_rejected = 0
+        self.unknown_spi = 0
+
+    def header_overhead(self) -> int:
+        return _SPI_LEN + _IV_LEN + _MAC_LEN + 8
+
+    def drop_hard_state(self) -> None:
+        """Simulate a crash: all SAs gone; traffic blackholes until the
+        initiator times out and re-exchanges (here: next send
+        re-exchanges, but inbound datagrams with dead SPIs are lost)."""
+        self._send_sas.clear()
+        self._recv_sas.clear()
+
+    # -- the exchange -------------------------------------------------------------
+
+    def _establish(self, dst: IPAddress) -> Optional[_SecurityAssociation]:
+        peer = self.registry.get(int(dst))
+        if peer is None:
+            return None
+        # Cookie round trip + value exchange: messages and delay.
+        messages = self._exchange_rtts * 2
+        delay = self._exchange_rtts * self._rtt + 2 * self._modexp_cost
+        self.setup_messages += messages
+        peer.setup_messages += messages
+        self.setup_delay_seconds += delay
+        self.host.charge_cpu(delay)
+        peer.host.charge_cpu(2 * self._modexp_cost)
+        self.exchanges += 1
+        # Both sides derive the same session key from the (simulated) DH
+        # exchange; model it as a hash over the sorted endpoint pair and
+        # per-pair salt.
+        lo, hi = sorted((int(self.host.address), int(dst)))
+        session_key = md5(
+            b"photuris-dh" + struct.pack(">IIII", lo, hi, self._dh_seed, peer._dh_seed)
+        )[:8]
+        spi = self._next_spi
+        self._next_spi += 1
+        sa = _SecurityAssociation(spi=spi, session_key=session_key)
+        self._send_sas[int(dst)] = sa
+        peer._recv_sas[spi] = sa
+        return sa
+
+    # -- hooks ------------------------------------------------------------------------
+
+    def outbound(self, packet: IPv4Packet) -> Optional[IPv4Packet]:
+        if self._is_bypass(packet):
+            return packet
+        sa = self._send_sas.get(int(packet.header.dst))
+        if sa is None:
+            sa = self._establish(packet.header.dst)
+            if sa is None:
+                return None
+        iv = self._iv_rng.next_bytes(_IV_LEN)
+        body = encrypt_cbc(DES(sa.session_key), iv, packet.payload)
+        mac = keyed_md5(sa.session_key, iv + body)
+        self._charge(len(packet.payload))
+        packet.payload = struct.pack(">I", sa.spi) + iv + mac + body
+        self.outbound_protected += 1
+        return packet
+
+    def inbound(self, packet: IPv4Packet) -> Optional[IPv4Packet]:
+        if self._is_bypass(packet):
+            return packet
+        data = packet.payload
+        if len(data) < _SPI_LEN + _IV_LEN + _MAC_LEN:
+            self.inbound_rejected += 1
+            return None
+        (spi,) = struct.unpack_from(">I", data, 0)
+        sa = self._recv_sas.get(spi)
+        if sa is None:
+            # Hard-state failure mode: an unknown SPI is undecryptable.
+            self.unknown_spi += 1
+            self.inbound_rejected += 1
+            return None
+        iv = data[_SPI_LEN : _SPI_LEN + _IV_LEN]
+        mac = data[_SPI_LEN + _IV_LEN : _SPI_LEN + _IV_LEN + _MAC_LEN]
+        body = data[_SPI_LEN + _IV_LEN + _MAC_LEN :]
+        expected = keyed_md5(sa.session_key, iv + body)
+        if not constant_time_equal(expected, mac):
+            self.inbound_rejected += 1
+            return None
+        try:
+            plaintext = decrypt_cbc(DES(sa.session_key), iv, body)
+        except ValueError:
+            self.inbound_rejected += 1
+            return None
+        self._charge(len(plaintext))
+        packet.payload = plaintext
+        self.inbound_accepted += 1
+        return packet
+
+    def _charge(self, payload_bytes: int) -> None:
+        model = self.host.cost_model
+        full = model.fbs_crypto(payload_bytes, encrypt=True, mac=True)
+        self.host.charge_cpu(max(0.0, full - model.generic_send(payload_bytes)))
+
+    def _is_bypass(self, packet: IPv4Packet) -> bool:
+        if packet.header.proto not in (IPProtocol.TCP, IPProtocol.UDP):
+            return False
+        if len(packet.payload) < 4:
+            return False
+        sport, dport = struct.unpack_from(">HH", packet.payload, 0)
+        return sport in self._bypass_ports or dport in self._bypass_ports

@@ -1,0 +1,33 @@
+"""Plain-text table/CDF rendering for the bench scripts."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+__all__ = ["render_table", "render_cdf"]
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for r, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        if r == 0:
+            lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def render_cdf(
+    title: str,
+    points: Sequence[Tuple[float, float]],
+    unit: str = "",
+    width: int = 40,
+) -> str:
+    """Render a CDF as an ASCII bar chart (one row per evaluation point)."""
+    lines = [title]
+    for x, frac in points:
+        bar = "#" * int(round(frac * width))
+        lines.append(f"  <= {x:>12g} {unit:<8} |{bar:<{width}}| {frac * 100:5.1f}%")
+    return "\n".join(lines)

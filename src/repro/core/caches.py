@@ -1,0 +1,389 @@
+"""The key cache hierarchy: PVC, MKC, TFKC, RFKC (Section 5.3, Figure 5).
+
+"With proper caching, the overhead of the FBS protocol can be reduced to
+the bare minimum, i.e., only MAC computation and encryption."
+
+The module provides two cache organizations:
+
+* :class:`DirectMappedCache` -- one entry per slot, indexed by a
+  pluggable hash (CRC-32 recommended by the paper).  Used for the TFKC
+  and RFKC, where "the associativity of the caches can not be too
+  great" because lookups must be O(1) in software.
+* :class:`AssociativeCache` -- set-associative with LRU replacement,
+  degenerating to fully-associative LRU when ``ways == capacity``.  Used
+  for the MKC and PVC (small, keyed by principal).
+
+Both classify misses into the paper's three types -- compulsory (cold),
+capacity, and collision -- using the standard technique: a parallel
+fully-associative LRU "shadow" of the same capacity.  A miss that the
+shadow would also suffer is a capacity miss (or cold if the key was
+never seen); a miss that the shadow would have hit is a collision miss,
+attributable purely to the indexing.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Generic, Hashable, List, Optional, Set, Tuple, TypeVar
+
+from repro.crypto.crc import CacheIndexHash, Crc32Hash
+
+__all__ = [
+    "MissKind",
+    "CacheStats",
+    "DirectMappedCache",
+    "AssociativeCache",
+    "FlowKeyCache",
+    "MasterKeyCache",
+    "PublicValueCache",
+]
+
+V = TypeVar("V")
+
+
+class MissKind(enum.Enum):
+    """The three miss types of Section 5.3."""
+
+    COLD = "cold"
+    CAPACITY = "capacity"
+    COLLISION = "collision"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache."""
+
+    hits: int = 0
+    cold_misses: int = 0
+    capacity_misses: int = 0
+    collision_misses: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.cold_misses + self.capacity_misses + self.collision_misses
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Miss fraction over all lookups (0.0 when never used)."""
+        total = self.lookups
+        return self.misses / total if total else 0.0
+
+    def record_miss(self, kind: MissKind) -> None:
+        if kind is MissKind.COLD:
+            self.cold_misses += 1
+        elif kind is MissKind.CAPACITY:
+            self.capacity_misses += 1
+        else:
+            self.collision_misses += 1
+
+
+class _MissClassifier:
+    """Shadow fully-associative LRU used to attribute miss causes."""
+
+    def __init__(self, capacity: int) -> None:
+        self._capacity = capacity
+        self._seen: Set[bytes] = set()
+        self._lru: "OrderedDict[bytes, None]" = OrderedDict()
+
+    def classify_and_touch(self, key: bytes, hit: bool) -> Optional[MissKind]:
+        """Update the shadow; return the miss kind (None on a hit)."""
+        kind: Optional[MissKind] = None
+        if not hit:
+            if key not in self._seen:
+                kind = MissKind.COLD
+            elif key in self._lru:
+                # The ideal cache still holds it: the real miss is due to
+                # the indexing, i.e. a collision miss.
+                kind = MissKind.COLLISION
+            else:
+                kind = MissKind.CAPACITY
+        self._seen.add(key)
+        if key in self._lru:
+            self._lru.move_to_end(key)
+        else:
+            if len(self._lru) >= self._capacity:
+                self._lru.popitem(last=False)
+            self._lru[key] = None
+        return kind
+
+
+class DirectMappedCache(Generic[V]):
+    """Fixed-size direct-mapped software cache (TFKC/RFKC organization)."""
+
+    def __init__(
+        self,
+        capacity: int,
+        index_hash: Optional[CacheIndexHash] = None,
+        classify_misses: bool = True,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be at least 1")
+        self.capacity = capacity
+        self._hash = index_hash or Crc32Hash()
+        self._slots: List[Optional[Tuple[bytes, V]]] = [None] * capacity
+        self.stats = CacheStats()
+        self._classifier = _MissClassifier(capacity) if classify_misses else None
+
+    def get(self, key: bytes) -> Optional[V]:
+        """Lookup; updates hit/miss statistics."""
+        slot = self._hash.index(key, self.capacity)
+        entry = self._slots[slot]
+        hit = entry is not None and entry[0] == key
+        if self._classifier is not None:
+            kind = self._classifier.classify_and_touch(key, hit)
+            if kind is not None:
+                self.stats.record_miss(kind)
+        elif not hit:
+            self.stats.record_miss(MissKind.COLD)
+        if hit:
+            self.stats.hits += 1
+            return entry[1]
+        return None
+
+    def put(self, key: bytes, value: V) -> None:
+        """Install ``key``; evicts whatever shares its slot."""
+        slot = self._hash.index(key, self.capacity)
+        self._slots[slot] = (key, value)
+
+    def invalidate(self, key: bytes) -> None:
+        """Remove ``key`` if present."""
+        slot = self._hash.index(key, self.capacity)
+        entry = self._slots[slot]
+        if entry is not None and entry[0] == key:
+            self._slots[slot] = None
+
+    def flush(self) -> None:
+        """Drop all entries (soft state)."""
+        self._slots = [None] * self.capacity
+
+    def __len__(self) -> int:
+        return sum(1 for s in self._slots if s is not None)
+
+
+class AssociativeCache(Generic[V]):
+    """Set-associative LRU cache (MKC/PVC organization).
+
+    ``ways == capacity`` gives fully-associative LRU.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        ways: Optional[int] = None,
+        index_hash: Optional[CacheIndexHash] = None,
+        classify_misses: bool = True,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be at least 1")
+        ways = ways or capacity
+        if ways < 1 or ways > capacity:
+            raise ValueError(f"ways must be in [1, capacity], got {ways}")
+        if capacity % ways:
+            raise ValueError("capacity must be a multiple of ways")
+        self.capacity = capacity
+        self.ways = ways
+        self.sets = capacity // ways
+        self._hash = index_hash or Crc32Hash()
+        self._sets: List["OrderedDict[bytes, V]"] = [
+            OrderedDict() for _ in range(self.sets)
+        ]
+        self.stats = CacheStats()
+        self._classifier = _MissClassifier(capacity) if classify_misses else None
+
+    def _set_for(self, key: bytes) -> "OrderedDict[bytes, V]":
+        return self._sets[self._hash.index(key, self.sets)]
+
+    def get(self, key: bytes) -> Optional[V]:
+        """Lookup; updates LRU order and statistics."""
+        bucket = self._set_for(key)
+        hit = key in bucket
+        if self._classifier is not None:
+            kind = self._classifier.classify_and_touch(key, hit)
+            if kind is not None:
+                self.stats.record_miss(kind)
+        elif not hit:
+            self.stats.record_miss(MissKind.COLD)
+        if hit:
+            self.stats.hits += 1
+            bucket.move_to_end(key)
+            return bucket[key]
+        return None
+
+    def put(self, key: bytes, value: V) -> None:
+        """Install ``key``, evicting the set's LRU entry if full."""
+        bucket = self._set_for(key)
+        if key in bucket:
+            bucket.move_to_end(key)
+            bucket[key] = value
+            return
+        if len(bucket) >= self.ways:
+            bucket.popitem(last=False)
+        bucket[key] = value
+
+    def invalidate(self, key: bytes) -> None:
+        """Remove ``key`` if present."""
+        self._set_for(key).pop(key, None)
+
+    def flush(self) -> None:
+        """Drop all entries (soft state)."""
+        for bucket in self._sets:
+            bucket.clear()
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._sets)
+
+
+# ---------------------------------------------------------------------------
+# The four named caches of Figure 5.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _FlowKeyEntry:
+    """TFKC/RFKC payload: the flow key plus bookkeeping for policies."""
+
+    flow_key: bytes
+    last_used: float = 0.0
+    datagrams: int = 0
+    octets: int = 0
+
+
+class FlowKeyCache:
+    """TFKC or RFKC: flow keys indexed by (sfl, D, S).
+
+    "This is a cache of transmission flow keys indexed by a combination
+    of sfl, D and S" -- S is included "for multi-homed principals"
+    (footnote 7).  Direct-mapped per the paper's software-cache argument.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        index_hash: Optional[CacheIndexHash] = None,
+        name: str = "TFKC",
+        ways: int = 1,
+    ) -> None:
+        self.name = name
+        if ways <= 1:
+            # Direct-mapped: the paper's default ("the associativity of
+            # the caches can not be too great" for O(1) software lookup).
+            self._cache = DirectMappedCache(capacity, index_hash=index_hash)
+        else:
+            # "Collision misses can be avoided by increasing the
+            # associativity of the cache" (Section 5.3).
+            self._cache = AssociativeCache(
+                capacity, ways=ways, index_hash=index_hash
+            )
+
+    @staticmethod
+    def _key(sfl: int, destination: bytes, source: bytes) -> bytes:
+        return sfl.to_bytes(8, "big") + destination + source
+
+    def lookup(self, sfl: int, destination: bytes, source: bytes) -> Optional[bytes]:
+        """Return the cached flow key, if any."""
+        entry = self._cache.get(self._key(sfl, destination, source))
+        return entry.flow_key if entry is not None else None
+
+    def install(
+        self, sfl: int, destination: bytes, source: bytes, flow_key: bytes, now: float = 0.0
+    ) -> None:
+        """Cache a freshly derived flow key."""
+        self._cache.put(
+            self._key(sfl, destination, source),
+            _FlowKeyEntry(flow_key=flow_key, last_used=now),
+        )
+
+    def flush(self) -> None:
+        self._cache.flush()
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._cache.stats
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+
+class MasterKeyCache:
+    """MKC: pair-based master keys indexed by principal name.
+
+    "These master keys are computed using entries in the PVC and
+    installed by the MKD."  Fully-associative LRU: the population is
+    small (correspondent principals) and misses cost a modular
+    exponentiation.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self._cache: AssociativeCache[bytes] = AssociativeCache(capacity)
+
+    def lookup(self, principal_id: bytes) -> Optional[bytes]:
+        """Return the cached K_{S,D} for a peer, if any."""
+        return self._cache.get(principal_id)
+
+    def install(self, principal_id: bytes, master_key: bytes) -> None:
+        """Cache a computed master key."""
+        self._cache.put(principal_id, master_key)
+
+    def invalidate(self, principal_id: bytes) -> None:
+        """Drop a peer's master key (e.g. on private-value change)."""
+        self._cache.invalidate(principal_id)
+
+    def flush(self) -> None:
+        self._cache.flush()
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._cache.stats
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+
+class PublicValueCache:
+    """PVC: public value *certificates* indexed by principal name.
+
+    "Caching of public value certificates, instead of the public values
+    themselves, is preferred because the former need not be secure; a
+    certificate can be verified each time it is used."  The cache stores
+    whatever certificate object the certificate substrate produces and
+    leaves verification to the caller (the MKD), preserving that
+    property.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self._cache: AssociativeCache[object] = AssociativeCache(capacity)
+        self._pinned: Dict[bytes, object] = {}
+
+    def lookup(self, principal_id: bytes) -> Optional[object]:
+        """Return the cached certificate, if any (pinned entries first)."""
+        pinned = self._pinned.get(principal_id)
+        if pinned is not None:
+            self._cache.stats.hits += 1
+            return pinned
+        return self._cache.get(principal_id)
+
+    def install(self, principal_id: bytes, certificate: object) -> None:
+        """Cache a fetched certificate."""
+        self._cache.put(principal_id, certificate)
+
+    def pin(self, principal_id: bytes, certificate: object) -> None:
+        """Pin a certificate "in the cache upon initialization"
+        (the paper's alternative to the secure flow bypass)."""
+        self._pinned[principal_id] = certificate
+
+    def flush(self) -> None:
+        """Drop non-pinned entries."""
+        self._cache.flush()
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._cache.stats
+
+    def __len__(self) -> int:
+        return len(self._cache) + len(self._pinned)

@@ -1,0 +1,218 @@
+"""Public value certificates and the certification hierarchy.
+
+Section 5.2: "the public values are made available and authenticated via
+a distributed certification hierarchy (e.g., X.509 certificates) or a
+secure DNS service."  This module provides that substrate: an
+X.509-flavoured certificate binding a principal to its Diffie-Hellman
+public value, signed by a certificate authority, plus a directory
+service the master key daemon queries on PVC misses.
+
+Certificates are canonically serialized so signatures are well-defined
+and so they can travel over the (insecure) simulated network -- the
+fetch "should not and need not be secure" because "the certificates are
+to be verified on receipt" (Section 5.3).
+"""
+
+from __future__ import annotations
+
+import random as _random
+import struct
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.core.errors import UnknownPrincipalError
+from repro.core.keying import Principal
+from repro.crypto.dh import DHGroup, DHPrivateKey, WELL_KNOWN_GROUPS
+from repro.crypto.rsa import RSAKeyPair, RSAPublicKey, SignatureError
+
+__all__ = [
+    "PublicValueCertificate",
+    "CertificateAuthority",
+    "CertificateDirectory",
+    "CertificateError",
+]
+
+
+class CertificateError(Exception):
+    """A certificate failed verification (signature, validity, binding)."""
+
+
+@dataclass(frozen=True)
+class PublicValueCertificate:
+    """A signed binding: principal -> (DH group, public value, validity)."""
+
+    subject: Principal
+    group_name: str
+    public_value: int
+    not_before: float
+    not_after: float
+    signature: bytes = b""
+
+    def to_be_signed(self) -> bytes:
+        """Canonical encoding of everything except the signature."""
+        group = WELL_KNOWN_GROUPS[self.group_name]
+        value_bytes = self.public_value.to_bytes(group.key_bytes, "big")
+        name = self.group_name.encode("ascii")
+        return (
+            struct.pack(">H", len(self.subject.wire_id))
+            + self.subject.wire_id
+            + struct.pack(">H", len(name))
+            + name
+            + struct.pack(">H", len(value_bytes))
+            + value_bytes
+            + struct.pack(">dd", self.not_before, self.not_after)
+        )
+
+    def encode(self) -> bytes:
+        """Full wire encoding, including the signature and subject name."""
+        body = self.to_be_signed()
+        display = self.subject.name.encode("utf-8")
+        return (
+            struct.pack(">H", len(display))
+            + display
+            + struct.pack(">I", len(body))
+            + body
+            + struct.pack(">H", len(self.signature))
+            + self.signature
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "PublicValueCertificate":
+        """Parse a wire encoding produced by :meth:`encode`."""
+        offset = 0
+        (name_len,) = struct.unpack_from(">H", data, offset)
+        offset += 2
+        display = data[offset : offset + name_len].decode("utf-8")
+        offset += name_len
+        (body_len,) = struct.unpack_from(">I", data, offset)
+        offset += 4
+        body = data[offset : offset + body_len]
+        offset += body_len
+        (sig_len,) = struct.unpack_from(">H", data, offset)
+        offset += 2
+        signature = data[offset : offset + sig_len]
+
+        # Unpack the body.
+        boff = 0
+        (wid_len,) = struct.unpack_from(">H", body, boff)
+        boff += 2
+        wire_id = body[boff : boff + wid_len]
+        boff += wid_len
+        (gname_len,) = struct.unpack_from(">H", body, boff)
+        boff += 2
+        group_name = body[boff : boff + gname_len].decode("ascii")
+        boff += gname_len
+        (val_len,) = struct.unpack_from(">H", body, boff)
+        boff += 2
+        public_value = int.from_bytes(body[boff : boff + val_len], "big")
+        boff += val_len
+        not_before, not_after = struct.unpack_from(">dd", body, boff)
+
+        return cls(
+            subject=Principal(name=display, wire_id=wire_id),
+            group_name=group_name,
+            public_value=public_value,
+            not_before=not_before,
+            not_after=not_after,
+            signature=signature,
+        )
+
+    def verify(self, ca_public: RSAPublicKey, now: float) -> None:
+        """Check signature and validity window.
+
+        Raises
+        ------
+        CertificateError
+            On any failure.  Called "each time it is used", per the
+            paper's PVC design.
+        """
+        if self.group_name not in WELL_KNOWN_GROUPS:
+            raise CertificateError(f"unknown DH group {self.group_name!r}")
+        if not self.not_before <= now <= self.not_after:
+            raise CertificateError(
+                f"certificate for {self.subject} outside validity window at {now}"
+            )
+        try:
+            ca_public.verify(self.to_be_signed(), self.signature)
+        except SignatureError as exc:
+            raise CertificateError(
+                f"bad signature on certificate for {self.subject}: {exc}"
+            ) from exc
+
+
+class CertificateAuthority:
+    """Issues and verifies public value certificates.
+
+    One CA suffices for the simulation; a hierarchy would simply chain
+    verifications.
+    """
+
+    def __init__(self, rng: _random.Random, key_bits: int = 512, name: str = "ca") -> None:
+        self.name = name
+        self._keypair = RSAKeyPair.generate(key_bits, rng)
+
+    @property
+    def public_key(self) -> RSAPublicKey:
+        """The verification key every principal is provisioned with."""
+        return self._keypair.public
+
+    def issue(
+        self,
+        subject: Principal,
+        key: DHPrivateKey,
+        not_before: float = 0.0,
+        not_after: float = 1e12,
+    ) -> PublicValueCertificate:
+        """Issue a certificate over a principal's DH public value."""
+        cert = PublicValueCertificate(
+            subject=subject,
+            group_name=key.group.name,
+            public_value=key.public,
+            not_before=not_before,
+            not_after=not_after,
+        )
+        signature = self._keypair.sign(cert.to_be_signed())
+        return PublicValueCertificate(
+            subject=cert.subject,
+            group_name=cert.group_name,
+            public_value=cert.public_value,
+            not_before=cert.not_before,
+            not_after=cert.not_after,
+            signature=signature,
+        )
+
+
+class CertificateDirectory:
+    """The certificate lookup service (CA directory / secure-DNS stand-in).
+
+    ``fetch`` is the operation a PVC miss triggers.  In-process use is a
+    plain dict lookup; network-backed use wraps this behind the secure
+    flow bypass (see :mod:`repro.core.mkd`).
+    """
+
+    def __init__(self) -> None:
+        self._certs: Dict[bytes, PublicValueCertificate] = {}
+        self.fetches = 0
+
+    def publish(self, certificate: PublicValueCertificate) -> None:
+        """Register a principal's certificate."""
+        self._certs[certificate.subject.wire_id] = certificate
+
+    def fetch(self, principal_id: bytes) -> PublicValueCertificate:
+        """Look up a certificate by principal wire id.
+
+        Raises
+        ------
+        UnknownPrincipalError
+            If no certificate is on file.
+        """
+        self.fetches += 1
+        cert = self._certs.get(principal_id)
+        if cert is None:
+            raise UnknownPrincipalError(
+                f"no certificate for principal id {principal_id.hex()}"
+            )
+        return cert
+
+    def __len__(self) -> int:
+        return len(self._certs)

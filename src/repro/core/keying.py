@@ -1,0 +1,94 @@
+"""Zero-message keying: pair-based master keys and flow keys.
+
+Section 5.2 defines::
+
+    K_{S,D} = g^{sd} mod p                      (pair-based master key)
+    K_f     = H(sfl | K_{S,D} | S | D)          (flow key)
+
+"S and D are included to explicitly tie the flow key K_f to that of a
+flow between S and D."  Knowledge of K_f does not reveal K_{S,D} or any
+other flow key (H is one-way) -- the property Section 6.1 contrasts with
+host-pair keying.
+
+Principals are abstract: "the principals could be network interfaces on
+hosts, the hosts themselves, network protocol layers, applications, or
+end users."  :class:`Principal` therefore carries an opaque name and a
+canonical byte encoding; the IP mapping uses 4-byte addresses, the test
+transports use UTF-8 names.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Union
+
+from repro.core.config import AlgorithmSuite
+from repro.crypto.dh import DHGroup, DHPrivateKey
+
+__all__ = ["Principal", "KeyDerivation"]
+
+
+@dataclass(frozen=True)
+class Principal:
+    """A uniquely addressable protocol principal.
+
+    ``wire_id`` is the canonical byte encoding concatenated into the flow
+    key derivation; two principals are the same iff their wire ids are.
+    """
+
+    name: str
+    wire_id: bytes
+
+    @classmethod
+    def from_name(cls, name: str) -> "Principal":
+        """Principal identified by a UTF-8 name (application layer)."""
+        encoded = name.encode("utf-8")
+        return cls(name=name, wire_id=struct.pack(">H", len(encoded)) + encoded)
+
+    @classmethod
+    def from_ip(cls, address) -> "Principal":
+        """Principal identified by an IPv4 address (network layer)."""
+        return cls(name=str(address), wire_id=address.to_bytes())
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class KeyDerivation:
+    """Derives master and flow keys for one algorithm suite."""
+
+    def __init__(self, suite: AlgorithmSuite) -> None:
+        self._suite = suite
+
+    def master_key(self, own: DHPrivateKey, peer_public: int) -> bytes:
+        """The pair-based master key K_{S,D} (raw DH shared secret bytes)."""
+        return own.agree(peer_public)
+
+    def flow_key(
+        self,
+        sfl: int,
+        master_key: bytes,
+        source: Principal,
+        destination: Principal,
+    ) -> bytes:
+        """K_f = H(sfl | K_{S,D} | S | D)."""
+        material = (
+            struct.pack(">Q", sfl)
+            + master_key
+            + source.wire_id
+            + destination.wire_id
+        )
+        return self._suite.flow_key_hash.func(material)
+
+    @staticmethod
+    def encryption_key(flow_key: bytes) -> bytes:
+        """The DES key for a flow: the leading 8 bytes of K_f."""
+        if len(flow_key) < 8:
+            raise ValueError("flow key too short for a DES key")
+        return flow_key[:8]
+
+    @staticmethod
+    def mac_key(flow_key: bytes) -> bytes:
+        """The MAC key for a flow: the full K_f."""
+        return flow_key

@@ -1,0 +1,35 @@
+"""Protocol instrumentation counters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["FBSMetrics"]
+
+
+@dataclass
+class FBSMetrics:
+    """Counters for one FBS endpoint (both halves)."""
+
+    # Send side.
+    datagrams_sent: int = 0
+    bytes_protected: int = 0
+    flows_started: int = 0
+    send_flow_key_derivations: int = 0
+    encryptions: int = 0
+
+    # Receive side.
+    datagrams_received: int = 0
+    datagrams_accepted: int = 0
+    bytes_accepted: int = 0
+    receive_flow_key_derivations: int = 0
+    decryptions: int = 0
+    stale_timestamps: int = 0
+    mac_failures: int = 0
+    header_errors: int = 0
+    keying_failures: int = 0
+
+    @property
+    def datagrams_rejected(self) -> int:
+        return self.datagrams_received - self.datagrams_accepted

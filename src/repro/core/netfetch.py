@@ -1,0 +1,132 @@
+"""Network-backed certificate fetching through the secure flow bypass.
+
+The in-process :class:`~repro.core.certificates.CertificateDirectory`
+gives the MKD synchronous fetches with a modelled RTT cost.  This module
+provides the *real* network path: certificate requests travel as plain
+UDP datagrams to a :class:`~repro.core.deploy.CertificateServer` on
+port 500 -- the port the FBS IP mapping exempts from processing (the
+secure flow bypass of Figure 5), avoiding the circularity of securing
+the fetch that security needs.
+
+Because the FBS hooks are synchronous but the network is not, the
+fetcher behaves like ARP: a miss *initiates* the request and reports
+failure; the triggering datagram is dropped; once the response arrives
+and is verified, subsequent datagrams (application retries, TCP
+retransmissions) find the certificate cached and flow normally.  The
+dropped first datagram is fair game -- datagram services may lose
+packets, and every datagram client already copes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Set
+
+from repro.core.certificates import CertificateError, PublicValueCertificate
+from repro.core.errors import UnknownPrincipalError
+from repro.core.ip_mapping import CERTIFICATE_PORT
+from repro.crypto.rsa import RSAPublicKey
+from repro.netsim.addresses import IPAddress
+from repro.netsim.host import Host
+from repro.netsim.sockets import UdpSocket
+
+__all__ = ["NetworkCertificateFetcher"]
+
+
+class NetworkCertificateFetcher:
+    """Fetches peer certificates over the wire, caching verified results.
+
+    Plug its :meth:`fetch` into a
+    :class:`~repro.core.mkd.MasterKeyDaemon`.
+
+    Parameters
+    ----------
+    host:
+        The machine this fetcher runs on (its "user space").
+    server_address:
+        Where the certificate server lives.
+    ca_public:
+        Used to verify responses *on arrival* so that a corrupted or
+        forged response never enters the store (the PVC still re-verifies
+        on every use, per the paper).
+    retry_interval:
+        Minimum seconds between re-sending a request for the same
+        principal (suppresses request storms from busy flows).
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        server_address: IPAddress,
+        ca_public: RSAPublicKey,
+        retry_interval: float = 1.0,
+    ) -> None:
+        self.host = host
+        self.server_address = server_address
+        self._ca_public = ca_public
+        self._retry_interval = retry_interval
+        self._socket = UdpSocket(host)
+        self._socket.on_receive = self._on_response
+        self._store: Dict[bytes, PublicValueCertificate] = {}
+        self._last_request: Dict[bytes, float] = {}
+        self.requests_sent = 0
+        self.responses_accepted = 0
+        self.responses_rejected = 0
+        #: Called whenever a new certificate is installed (tests, and a
+        #: hook for retry-on-arrival logic).
+        self.on_certificate: Optional[Callable[[PublicValueCertificate], None]] = None
+
+    # -- the MKD-facing fetch function -------------------------------------------
+
+    def fetch(self, principal_id: bytes) -> PublicValueCertificate:
+        """Return the certificate if present; otherwise request it and
+        raise :class:`UnknownPrincipalError` (the caller drops the
+        triggering datagram)."""
+        certificate = self._store.get(principal_id)
+        if certificate is not None:
+            return certificate
+        self._request(principal_id)
+        raise UnknownPrincipalError(
+            f"certificate for {principal_id.hex()} not yet fetched; request sent"
+        )
+
+    def prefetch(self, principal_id: bytes) -> None:
+        """Proactively request a certificate (warm the PVC before the
+        first datagram, avoiding even the single drop)."""
+        if principal_id not in self._store:
+            self._request(principal_id)
+
+    def has(self, principal_id: bytes) -> bool:
+        """True if a verified certificate is already in the store."""
+        return principal_id in self._store
+
+    # -- plumbing -------------------------------------------------------------------
+
+    def _request(self, principal_id: bytes) -> None:
+        now = self.host.sim.now
+        last = self._last_request.get(principal_id)
+        if last is not None and now - last < self._retry_interval:
+            return
+        self._last_request[principal_id] = now
+        self.requests_sent += 1
+        self._socket.sendto(principal_id, self.server_address, CERTIFICATE_PORT)
+
+    def _on_response(self, payload: bytes, src: IPAddress, sport: int) -> None:
+        if sport != CERTIFICATE_PORT:
+            self.responses_rejected += 1
+            return
+        try:
+            certificate = PublicValueCertificate.decode(payload)
+        except Exception:
+            self.responses_rejected += 1
+            return
+        # Verify before installing: the fetch is insecure by design, the
+        # certificate is self-authenticating.
+        try:
+            certificate.verify(self._ca_public, now=self.host.sim.now)
+        except CertificateError:
+            self.responses_rejected += 1
+            return
+        self._store[certificate.subject.wire_id] = certificate
+        self.responses_accepted += 1
+        if self.on_certificate is not None:
+            self.on_certificate(certificate)

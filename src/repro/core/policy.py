@@ -1,0 +1,335 @@
+"""Security flow policy modules.
+
+Policies are mapper/sweeper pairs plugged into the FAM.  This module
+provides:
+
+* :class:`FiveTuplePolicy` -- the paper's implemented policy (Figure 7):
+  a flow is "a sequence of datagrams of the same transport layer
+  protocol going from a port on a host to another port on another host
+  such that the datagrams do not arrive more than THRESHOLD apart."
+* :class:`ThresholdSweeper` -- the Figure 7 sweeper: invalidate entries
+  idle longer than THRESHOLD.
+* :class:`HostLevelPolicy` -- one flow per destination principal; what
+  raw IP (ICMP/IGMP) degenerates to ("raw IP can be considered as
+  host-level flows", footnote 10), and the closest FBS gets to SKIP-style
+  host keying.
+* :class:`PerDatagramPolicy` -- a fresh flow per datagram: the
+  degenerate lower bound showing what per-datagram keying costs
+  (ablation use).
+* :class:`RekeyingPolicy` -- wraps another policy and rotates the sfl
+  after a byte/datagram budget: "rekeying can be easily accomplished via
+  the FAM by changing the sfl.  Rekeying decisions, though, are made by
+  policy modules" (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.fam import DatagramAttributes
+from repro.core.flows import FlowStateTable, FSTEntry, SflAllocator
+
+__all__ = [
+    "FiveTuplePolicy",
+    "ThresholdSweeper",
+    "HostLevelPolicy",
+    "PerDatagramPolicy",
+    "AttributePolicy",
+    "RekeyingPolicy",
+]
+
+
+class FiveTuplePolicy:
+    """The Figure 7 mapper, with the THRESHOLD check folded in.
+
+    Section 7.2 combines mapper and key-cache activity check: "If the
+    indexed entry is 'active' (last use is less than THRESHOLD ago), it
+    uses the stored flow key.  Otherwise, it begins a new flow ...  The
+    job of the sweeper module also becomes implicit as it is absorbed
+    into the mapping phase."  Set ``check_threshold=False`` to get the
+    plain Figure 7 mapper that relies on an explicit sweeper instead
+    (the split design of Section 5.1) -- the ablation bench compares the
+    two.
+    """
+
+    def __init__(self, threshold: float = 600.0, check_threshold: bool = True) -> None:
+        if threshold <= 0:
+            raise ValueError("THRESHOLD must be positive")
+        self.threshold = threshold
+        self.check_threshold = check_threshold
+        #: Flows that reused a 5-tuple after expiry (Figure 14's metric).
+        self.repeated_flows = 0
+
+    def classify(
+        self,
+        attributes: DatagramAttributes,
+        now: float,
+        fst: FlowStateTable,
+        allocator: SflAllocator,
+    ) -> FSTEntry:
+        if attributes.five_tuple is None:
+            raise ValueError("FiveTuplePolicy requires a five_tuple attribute")
+        key = attributes.five_tuple.pack()
+        index = fst.slot_for(key)
+        entry = fst.entry_at(index)
+        fst.lookups += 1
+
+        if entry.valid and entry.key == key:
+            expired = self.check_threshold and (now - entry.last) > self.threshold
+            if not expired:
+                fst.matches += 1
+                entry.last = now
+                entry.datagrams += 1
+                entry.octets += attributes.size
+                return entry
+            # Same 5-tuple, but the previous flow has gone idle past
+            # THRESHOLD: a *repeated flow* (new sfl, same conversation
+            # key) -- the quantity Figure 14 studies.
+            self.repeated_flows += 1
+        elif entry.valid:
+            # Different conversation hashed to the same slot: collision
+            # eviction, which "can prematurely terminate a flow [but]
+            # does not affect security" (footnote 11).
+            fst.collision_evictions += 1
+
+        fst.new_flows += 1
+        entry.valid = True
+        entry.sfl = allocator.allocate()
+        entry.key = key
+        entry.created = now
+        entry.last = now
+        entry.datagrams = 1
+        entry.octets = attributes.size
+        entry.aux.clear()
+        return entry
+
+
+class ThresholdSweeper:
+    """The Figure 7 sweeper: expire entries idle past THRESHOLD."""
+
+    def __init__(self, threshold: float = 600.0) -> None:
+        if threshold <= 0:
+            raise ValueError("THRESHOLD must be positive")
+        self.threshold = threshold
+
+    def sweep(self, fst: FlowStateTable, now: float) -> int:
+        swept = 0
+        for entry in fst.entries():
+            if entry.valid and (now - entry.last) > self.threshold:
+                entry.reset()
+                fst.expirations += 1
+                swept += 1
+        return swept
+
+
+class HostLevelPolicy:
+    """One flow per destination principal (host-level granularity)."""
+
+    def __init__(self, threshold: Optional[float] = None) -> None:
+        self.threshold = threshold
+        self.repeated_flows = 0
+
+    def classify(
+        self,
+        attributes: DatagramAttributes,
+        now: float,
+        fst: FlowStateTable,
+        allocator: SflAllocator,
+    ) -> FSTEntry:
+        key = attributes.destination_id
+        index = fst.slot_for(key)
+        entry = fst.entry_at(index)
+        fst.lookups += 1
+
+        if entry.valid and entry.key == key:
+            expired = (
+                self.threshold is not None and (now - entry.last) > self.threshold
+            )
+            if not expired:
+                fst.matches += 1
+                entry.last = now
+                entry.datagrams += 1
+                entry.octets += attributes.size
+                return entry
+            self.repeated_flows += 1
+        elif entry.valid:
+            fst.collision_evictions += 1
+
+        fst.new_flows += 1
+        entry.valid = True
+        entry.sfl = allocator.allocate()
+        entry.key = key
+        entry.created = now
+        entry.last = now
+        entry.datagrams = 1
+        entry.octets = attributes.size
+        entry.aux.clear()
+        return entry
+
+
+class PerDatagramPolicy:
+    """A fresh flow (and key) for every datagram -- the degenerate case.
+
+    Turns FBS into per-datagram keying; exists to quantify what the flow
+    abstraction saves (every datagram pays a flow-key derivation).
+    """
+
+    def classify(
+        self,
+        attributes: DatagramAttributes,
+        now: float,
+        fst: FlowStateTable,
+        allocator: SflAllocator,
+    ) -> FSTEntry:
+        key = attributes.policy_key()
+        index = fst.slot_for(key)
+        entry = fst.entry_at(index)
+        fst.lookups += 1
+        fst.new_flows += 1
+        entry.valid = True
+        entry.sfl = allocator.allocate()
+        entry.key = key
+        entry.created = now
+        entry.last = now
+        entry.datagrams = 1
+        entry.octets = attributes.size
+        entry.aux.clear()
+        return entry
+
+
+class AttributePolicy:
+    """A configurable mapper over arbitrary datagram attributes.
+
+    The paper's FAM "takes as input a set of attributes (e.g.,
+    destination principal address) of a datagram and possibly other
+    system parameters (e.g., process id, time)" -- i.e. policies may be
+    operating-system specific.  This mapper generalizes: the flow key is
+    built from any chosen subset of 5-tuple fields plus any keys of
+    ``DatagramAttributes.extra`` (uid, pid, application tag, ...).
+
+    Examples::
+
+        # One flow per (destination host, destination port): service
+        # granularity, ignoring the client port.
+        AttributePolicy(fields=("daddr", "dport"))
+
+        # One flow per destination per local *user*:
+        AttributePolicy(fields=("daddr",), extra_keys=("uid",))
+    """
+
+    _FIELD_GETTERS = {
+        "proto": lambda ft: bytes([ft.proto]),
+        "saddr": lambda ft: ft.saddr.to_bytes(),
+        "sport": lambda ft: ft.sport.to_bytes(2, "big"),
+        "daddr": lambda ft: ft.daddr.to_bytes(),
+        "dport": lambda ft: ft.dport.to_bytes(2, "big"),
+    }
+
+    def __init__(
+        self,
+        fields: tuple = ("proto", "saddr", "sport", "daddr", "dport"),
+        extra_keys: tuple = (),
+        threshold: Optional[float] = 600.0,
+    ) -> None:
+        unknown = [f for f in fields if f not in self._FIELD_GETTERS]
+        if unknown:
+            raise ValueError(f"unknown 5-tuple fields: {unknown}")
+        if not fields and not extra_keys:
+            raise ValueError("AttributePolicy needs at least one attribute")
+        self.fields = tuple(fields)
+        self.extra_keys = tuple(extra_keys)
+        self.threshold = threshold
+        self.repeated_flows = 0
+
+    def _key(self, attributes: DatagramAttributes) -> bytes:
+        parts = []
+        if self.fields:
+            if attributes.five_tuple is None:
+                raise ValueError(
+                    f"AttributePolicy needs a five_tuple for fields {self.fields}"
+                )
+            for field in self.fields:
+                parts.append(self._FIELD_GETTERS[field](attributes.five_tuple))
+        for key in self.extra_keys:
+            value = attributes.extra.get(key)
+            if value is None:
+                raise ValueError(f"datagram missing required attribute {key!r}")
+            encoded = str(value).encode("utf-8")
+            parts.append(len(encoded).to_bytes(2, "big") + encoded)
+        return b"attr:" + b"".join(parts)
+
+    def classify(
+        self,
+        attributes: DatagramAttributes,
+        now: float,
+        fst: FlowStateTable,
+        allocator: SflAllocator,
+    ) -> FSTEntry:
+        key = self._key(attributes)
+        index = fst.slot_for(key)
+        entry = fst.entry_at(index)
+        fst.lookups += 1
+
+        if entry.valid and entry.key == key:
+            expired = (
+                self.threshold is not None and (now - entry.last) > self.threshold
+            )
+            if not expired:
+                fst.matches += 1
+                entry.last = now
+                entry.datagrams += 1
+                entry.octets += attributes.size
+                return entry
+            self.repeated_flows += 1
+        elif entry.valid:
+            fst.collision_evictions += 1
+
+        fst.new_flows += 1
+        entry.valid = True
+        entry.sfl = allocator.allocate()
+        entry.key = key
+        entry.created = now
+        entry.last = now
+        entry.datagrams = 1
+        entry.octets = attributes.size
+        entry.aux.clear()
+        return entry
+
+
+class RekeyingPolicy:
+    """Wrap a policy; rotate the sfl after a byte or datagram budget.
+
+    The wear-out guard of Section 5.2.  ``after_bytes``/``after_datagrams``
+    of 0 disable the respective limit.
+    """
+
+    def __init__(self, inner, after_bytes: int = 0, after_datagrams: int = 0) -> None:
+        if after_bytes < 0 or after_datagrams < 0:
+            raise ValueError("rekey budgets must be non-negative")
+        if not after_bytes and not after_datagrams:
+            raise ValueError("RekeyingPolicy needs at least one budget")
+        self.inner = inner
+        self.after_bytes = after_bytes
+        self.after_datagrams = after_datagrams
+        self.rekeys = 0
+
+    def classify(
+        self,
+        attributes: DatagramAttributes,
+        now: float,
+        fst: FlowStateTable,
+        allocator: SflAllocator,
+    ) -> FSTEntry:
+        entry = self.inner.classify(attributes, now, fst, allocator)
+        over_bytes = self.after_bytes and entry.octets > self.after_bytes
+        over_count = self.after_datagrams and entry.datagrams > self.after_datagrams
+        if over_bytes or over_count:
+            # Rekey by changing the sfl; the zero-message keying
+            # machinery derives a new flow key automatically.
+            entry.sfl = allocator.allocate()
+            entry.created = now
+            entry.datagrams = 1
+            entry.octets = attributes.size
+            self.rekeys += 1
+            fst.new_flows += 1
+        return entry

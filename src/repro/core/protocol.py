@@ -1,0 +1,277 @@
+"""The abstract FBS protocol engine: FBSSend and FBSReceive (Figure 4).
+
+:class:`FBSEndpoint` is deliberately layer-agnostic: it consumes and
+produces byte strings ("the datagram body prefixed by the security flow
+header") and "assumes only the availability of an underlying (insecure)
+datagram transport".  The IP mapping (:mod:`repro.core.ip_mapping`)
+splices these bytes between the IP header and the transport payload; the
+in-memory transport used by the tests just sends them as-is; an
+application-layer mapping could put them inside UDP payloads.
+
+Caching follows Figure 6: the send path consults the TFKC, falling back
+to the MKC/MKD (upcall) and deriving K_f once per flow; the receive path
+mirrors it with the RFKC.  All caches are soft state: any of them may be
+flushed at any moment with no correctness impact (tests assert this).
+
+A note on Figure 4's receive pseudo-code: it computes the MAC check (R7)
+*before* decryption (R10), yet the send side MACs the plaintext body
+(S6) *before* encrypting (S8).  Taken literally the two sides disagree
+whenever ``secret`` is set.  Since the paper describes receive
+processing as "the 'inverse' of that on the send side", we implement the
+inverse order -- decrypt, then verify the plaintext MAC -- and document
+the discrepancy here and in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.caches import FlowKeyCache
+from repro.core.config import FBSConfig
+from repro.core.errors import (
+    FBSError,
+    HeaderFormatError,
+    MacMismatchError,
+    ReceiveError,
+    StaleTimestampError,
+)
+from repro.core.fam import DatagramAttributes, FlowAssociationMechanism
+from repro.core.header import FBSHeader, header_length
+from repro.core.keying import KeyDerivation, Principal
+from repro.core.metrics import FBSMetrics
+from repro.core.mkd import MasterKeyDaemon
+from repro.core.timestamps import FreshnessWindow, TimestampCodec
+from repro.crypto import modes
+from repro.crypto.des import DES
+from repro.crypto.mac import constant_time_equal
+from repro.crypto.random import LinearCongruential
+
+__all__ = ["FBSEndpoint", "FBSError", "ReceiveError"]
+
+
+class FBSEndpoint:
+    """One principal's FBS protocol instance (both send and receive).
+
+    Parameters
+    ----------
+    principal:
+        The local principal S (also D for inbound datagrams).
+    mkd:
+        The principal's master key daemon (keys, PVC, MKC).
+    fam:
+        The flow association mechanism with its policy plug-ins.
+    config:
+        Algorithm suite and protocol parameters.
+    now:
+        Clock function (simulation or wall time).
+    charge:
+        Optional CPU-cost hook, called with seconds for keying work.
+    flow_key_cost:
+        CPU seconds per flow-key derivation (charged through ``charge``).
+    """
+
+    def __init__(
+        self,
+        principal: Principal,
+        mkd: MasterKeyDaemon,
+        fam: FlowAssociationMechanism,
+        config: Optional[FBSConfig] = None,
+        now: Callable[[], float] = lambda: 0.0,
+        confounder_seed: int = 1,
+        charge: Optional[Callable[[float], None]] = None,
+        flow_key_cost: float = 0.0,
+    ) -> None:
+        self.principal = principal
+        self.mkd = mkd
+        self.fam = fam
+        self.config = config or FBSConfig()
+        self.now = now
+        self.kdf = KeyDerivation(self.config.suite)
+        self.tfkc = FlowKeyCache(self.config.tfkc_size, name="TFKC")
+        self.rfkc = FlowKeyCache(self.config.rfkc_size, name="RFKC")
+        self.codec = TimestampCodec()
+        self.freshness = FreshnessWindow(
+            codec=self.codec, half_window=self.config.freshness_half_window
+        )
+        self._confounder_rng = LinearCongruential(confounder_seed)
+        self._charge = charge or (lambda _cost: None)
+        self._flow_key_cost = flow_key_cost
+        self.metrics = FBSMetrics()
+        if self.config.replay_guard_size > 0:
+            from repro.core.replay_guard import ReplayGuard
+
+            self.replay_guard: Optional["ReplayGuard"] = ReplayGuard(
+                capacity=self.config.replay_guard_size,
+                window=2 * self.config.freshness_half_window + 60.0,
+            )
+        else:
+            self.replay_guard = None
+
+    # -- helpers ---------------------------------------------------------------
+
+    @property
+    def header_size(self) -> int:
+        """Wire bytes the security flow header adds to each datagram."""
+        return header_length(self.config.suite, self.config.carry_algorithm_id)
+
+    def _mac(self, flow_key: bytes, header: FBSHeader, body: bytes) -> bytes:
+        """MAC = HMAC(K_f | confounder | timestamp | payload)."""
+        data = header.confounder_bytes() + header.timestamp_bytes() + body
+        digest = self.config.suite.mac.func(self.kdf.mac_key(flow_key), data)
+        return digest[: self.config.suite.mac_bytes]
+
+    def _send_flow_key(self, sfl: int, destination: Principal) -> bytes:
+        """Figure 6: TFKC, then MKC/MKD, then derive and install."""
+        cached = self.tfkc.lookup(sfl, destination.wire_id, self.principal.wire_id)
+        if cached is not None:
+            return cached
+        master = self.mkd.upcall_master_key(destination)
+        self._charge(self._flow_key_cost)
+        self.metrics.send_flow_key_derivations += 1
+        flow_key = self.kdf.flow_key(sfl, master, self.principal, destination)
+        self.tfkc.install(
+            sfl, destination.wire_id, self.principal.wire_id, flow_key, now=self.now()
+        )
+        return flow_key
+
+    def _receive_flow_key(self, sfl: int, source: Principal) -> bytes:
+        """The RFKC mirror of the send path."""
+        cached = self.rfkc.lookup(sfl, self.principal.wire_id, source.wire_id)
+        if cached is not None:
+            return cached
+        master = self.mkd.upcall_master_key(source)
+        self._charge(self._flow_key_cost)
+        self.metrics.receive_flow_key_derivations += 1
+        flow_key = self.kdf.flow_key(sfl, master, source, self.principal)
+        self.rfkc.install(
+            sfl, self.principal.wire_id, source.wire_id, flow_key, now=self.now()
+        )
+        return flow_key
+
+    # -- FBSSend (Figure 4, left) ------------------------------------------------
+
+    def protect(
+        self,
+        body: bytes,
+        destination: Principal,
+        attributes: Optional[DatagramAttributes] = None,
+        secret: bool = False,
+    ) -> bytes:
+        """FBSSend: classify, key, MAC, optionally encrypt.
+
+        Returns the security flow header followed by the (possibly
+        encrypted) body; the caller splices this into its datagram
+        format.
+        """
+        now = self.now()
+        if attributes is None:
+            attributes = DatagramAttributes(
+                destination_id=destination.wire_id, size=len(body)
+            )
+        # (S1) classify into a flow.
+        entry = self.fam.classify(attributes, now)
+        if entry.datagrams == 1:
+            self.metrics.flows_started += 1
+        sfl = entry.sfl
+        # (S2-3) flow key (logically; physically via the TFKC).
+        flow_key = self._send_flow_key(sfl, destination)
+        # (S4-5) confounder and timestamp.
+        confounder = self._confounder_rng.next_u32()
+        timestamp = self.codec.encode(now)
+        header = FBSHeader(
+            sfl=sfl,
+            confounder=confounder,
+            mac=b"\x00" * self.config.suite.mac_bytes,
+            timestamp=timestamp,
+        )
+        # (S6) MAC over confounder | timestamp | plaintext body.
+        header.mac = self._mac(flow_key, header, body)
+        # (S8-9) optional encryption with the confounder-derived IV.
+        if secret:
+            cipher = DES(self.kdf.encryption_key(flow_key))
+            body = modes.encrypt(
+                self.config.suite.cipher_mode, cipher, header.iv(), body
+            )
+            self.metrics.encryptions += 1
+        # (S7, S10) emit header + body.
+        self.metrics.datagrams_sent += 1
+        self.metrics.bytes_protected += len(body)
+        return (
+            header.encode(self.config.suite, self.config.carry_algorithm_id) + body
+        )
+
+    # -- FBSReceive (Figure 4, right) ----------------------------------------------
+
+    def unprotect(self, data: bytes, source: Principal, secret: bool = False) -> bytes:
+        """FBSReceive: freshness, keying, decrypt, MAC verify.
+
+        Returns the plaintext body, or raises a :class:`ReceiveError`
+        subclass (the pseudo-code's ``return error`` paths).
+        """
+        self.metrics.datagrams_received += 1
+        now = self.now()
+        # (R2) parse the security flow header.
+        try:
+            header = FBSHeader.decode(
+                data, self.config.suite, self.config.carry_algorithm_id
+            )
+        except HeaderFormatError:
+            self.metrics.header_errors += 1
+            raise
+        body = data[self.header_size :]
+        # (R3-4) freshness.
+        if not self.freshness.is_fresh(header.timestamp, now):
+            self.metrics.stale_timestamps += 1
+            raise StaleTimestampError(
+                f"timestamp {header.timestamp} outside freshness window at {now}"
+            )
+        # (R5-6) recover the flow key (via the RFKC).
+        try:
+            flow_key = self._receive_flow_key(header.sfl, source)
+        except FBSError:
+            self.metrics.keying_failures += 1
+            raise
+        # (R10-11 before R7-9; see the module docstring on Figure 4's
+        # ordering) optional decryption.
+        if secret:
+            cipher = DES(self.kdf.encryption_key(flow_key))
+            try:
+                body = modes.decrypt(
+                    self.config.suite.cipher_mode, cipher, header.iv(), body
+                )
+            except ValueError as exc:
+                # Garbled padding: treat as an integrity failure.
+                self.metrics.mac_failures += 1
+                raise MacMismatchError(f"decryption failed: {exc}") from exc
+            self.metrics.decryptions += 1
+        # (R7-9) MAC verification over the plaintext.
+        expected = self._mac(flow_key, header, body)
+        if not constant_time_equal(expected, header.mac):
+            self.metrics.mac_failures += 1
+            raise MacMismatchError(
+                f"MAC mismatch on datagram in flow {header.sfl:#x}"
+            )
+        # Optional extension: suppress exact duplicates within the
+        # freshness window (after MAC verification, so forged headers
+        # cannot poison the memory).
+        if self.replay_guard is not None:
+            self.replay_guard.check_and_remember(header, now)
+        # (R12) deliver.
+        self.metrics.datagrams_accepted += 1
+        self.metrics.bytes_accepted += len(body)
+        return body
+
+    # -- soft state management -------------------------------------------------------
+
+    def flush_all_caches(self) -> None:
+        """Drop every piece of cached state.
+
+        "The contents of the cache represent only soft state" -- after
+        this call the endpoint still interoperates perfectly, it just
+        re-derives keys (tests exercise flushing between every datagram).
+        """
+        self.tfkc.flush()
+        self.rfkc.flush()
+        self.mkd.mkc.flush()
+        self.mkd.pvc.flush()
+        self.fam.flush()

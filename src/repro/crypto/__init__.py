@@ -1,0 +1,89 @@
+"""Cryptographic substrate for the FBS reproduction.
+
+The paper implements FBS on top of CryptoLib (Lacy et al., USENIX Security
+1993), which supplied DES, MD5, Diffie-Hellman and RSA.  This package is a
+from-scratch, pure-Python replacement providing the same primitives:
+
+* :mod:`repro.crypto.des` -- the DES block cipher (FIPS 46).
+* :mod:`repro.crypto.modes` -- ECB/CBC/CFB/OFB modes of operation
+  (FIPS 81), including the confounder conventions of FBS Section 5.2.
+* :mod:`repro.crypto.md5` / :mod:`repro.crypto.sha1` -- the hash function
+  candidates the paper names for ``H`` (MD5 per RFC 1321, SHS per
+  FIPS 180).
+* :mod:`repro.crypto.mac` -- keyed-hash MAC constructions (prefix-keyed
+  MD5 as used in the paper's implementation, and HMAC).
+* :mod:`repro.crypto.dh` -- Diffie-Hellman key exchange, the basis of
+  zero-message keying.
+* :mod:`repro.crypto.rsa` -- minimal RSA signatures for the public-value
+  certificates.
+* :mod:`repro.crypto.primes` -- Miller-Rabin and safe-prime generation.
+* :mod:`repro.crypto.random` -- the two classes of random generator the
+  paper distinguishes: *statistically* random (linear congruential, for
+  confounders) and *cryptographically* random (Blum-Blum-Shub quadratic
+  residue generator, for per-datagram keys in the host-pair baseline).
+* :mod:`repro.crypto.crc` -- CRC-32 and the cache-index hash family used
+  to index the flow state table and key caches.
+
+All primitives are deterministic and carry published test vectors in the
+test suite.  They are *reference* implementations: correct and
+interoperable, not fast; the performance evaluation uses the calibrated
+cost model in :mod:`repro.netsim.costmodel` instead of wall-clock speed.
+"""
+
+from repro.crypto.des import DES
+from repro.crypto.modes import (
+    CipherMode,
+    decrypt_cbc,
+    decrypt_cfb,
+    decrypt_ecb_confounded,
+    decrypt_ofb,
+    encrypt_cbc,
+    encrypt_cfb,
+    encrypt_ecb_confounded,
+    encrypt_ofb,
+)
+from repro.crypto.md5 import MD5, md5
+from repro.crypto.sha1 import SHA1, sha1
+from repro.crypto.mac import hmac_md5, hmac_sha1, keyed_md5, truncate_mac
+from repro.crypto.dh import DHGroup, DHPrivateKey, WELL_KNOWN_GROUPS
+from repro.crypto.rsa import RSAKeyPair, RSAPublicKey
+from repro.crypto.random import (
+    BlumBlumShub,
+    CounterRandom,
+    LinearCongruential,
+)
+from repro.crypto.crc import crc32, CacheIndexHash, ModuloHash, XorFoldHash, Crc32Hash
+
+__all__ = [
+    "DES",
+    "CipherMode",
+    "encrypt_cbc",
+    "decrypt_cbc",
+    "encrypt_cfb",
+    "decrypt_cfb",
+    "encrypt_ofb",
+    "decrypt_ofb",
+    "encrypt_ecb_confounded",
+    "decrypt_ecb_confounded",
+    "MD5",
+    "md5",
+    "SHA1",
+    "sha1",
+    "keyed_md5",
+    "hmac_md5",
+    "hmac_sha1",
+    "truncate_mac",
+    "DHGroup",
+    "DHPrivateKey",
+    "WELL_KNOWN_GROUPS",
+    "RSAKeyPair",
+    "RSAPublicKey",
+    "LinearCongruential",
+    "BlumBlumShub",
+    "CounterRandom",
+    "crc32",
+    "CacheIndexHash",
+    "ModuloHash",
+    "XorFoldHash",
+    "Crc32Hash",
+]

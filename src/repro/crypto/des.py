@@ -1,0 +1,289 @@
+"""The DES block cipher (FIPS 46), implemented from scratch.
+
+The paper's IP mapping uses DES for data confidentiality ("we use DES for
+encryption and MD5 for MAC computation", Section 7.2) via the CryptoLib
+library.  This module is a table-driven reference implementation operating
+on 64-bit blocks with a 64-bit key (56 effective key bits; parity bits are
+ignored, as in CryptoLib).
+
+The implementation favours clarity over speed: permutations are expressed
+directly from the FIPS tables.  Published test vectors are exercised in
+``tests/crypto/test_des.py``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["DES", "BLOCK_SIZE"]
+
+#: DES block size in bytes.
+BLOCK_SIZE = 8
+
+# ---------------------------------------------------------------------------
+# FIPS 46 permutation tables.  All tables are 1-indexed bit positions taken
+# verbatim from the standard; bit 1 is the most significant bit of the input.
+# ---------------------------------------------------------------------------
+
+_IP = (
+    58, 50, 42, 34, 26, 18, 10, 2,
+    60, 52, 44, 36, 28, 20, 12, 4,
+    62, 54, 46, 38, 30, 22, 14, 6,
+    64, 56, 48, 40, 32, 24, 16, 8,
+    57, 49, 41, 33, 25, 17, 9, 1,
+    59, 51, 43, 35, 27, 19, 11, 3,
+    61, 53, 45, 37, 29, 21, 13, 5,
+    63, 55, 47, 39, 31, 23, 15, 7,
+)
+
+_FP = (
+    40, 8, 48, 16, 56, 24, 64, 32,
+    39, 7, 47, 15, 55, 23, 63, 31,
+    38, 6, 46, 14, 54, 22, 62, 30,
+    37, 5, 45, 13, 53, 21, 61, 29,
+    36, 4, 44, 12, 52, 20, 60, 28,
+    35, 3, 43, 11, 51, 19, 59, 27,
+    34, 2, 42, 10, 50, 18, 58, 26,
+    33, 1, 41, 9, 49, 17, 57, 25,
+)
+
+_E = (
+    32, 1, 2, 3, 4, 5,
+    4, 5, 6, 7, 8, 9,
+    8, 9, 10, 11, 12, 13,
+    12, 13, 14, 15, 16, 17,
+    16, 17, 18, 19, 20, 21,
+    20, 21, 22, 23, 24, 25,
+    24, 25, 26, 27, 28, 29,
+    28, 29, 30, 31, 32, 1,
+)
+
+_P = (
+    16, 7, 20, 21,
+    29, 12, 28, 17,
+    1, 15, 23, 26,
+    5, 18, 31, 10,
+    2, 8, 24, 14,
+    32, 27, 3, 9,
+    19, 13, 30, 6,
+    22, 11, 4, 25,
+)
+
+_PC1 = (
+    57, 49, 41, 33, 25, 17, 9,
+    1, 58, 50, 42, 34, 26, 18,
+    10, 2, 59, 51, 43, 35, 27,
+    19, 11, 3, 60, 52, 44, 36,
+    63, 55, 47, 39, 31, 23, 15,
+    7, 62, 54, 46, 38, 30, 22,
+    14, 6, 61, 53, 45, 37, 29,
+    21, 13, 5, 28, 20, 12, 4,
+)
+
+_PC2 = (
+    14, 17, 11, 24, 1, 5,
+    3, 28, 15, 6, 21, 10,
+    23, 19, 12, 4, 26, 8,
+    16, 7, 27, 20, 13, 2,
+    41, 52, 31, 37, 47, 55,
+    30, 40, 51, 45, 33, 48,
+    44, 49, 39, 56, 34, 53,
+    46, 42, 50, 36, 29, 32,
+)
+
+_SHIFTS = (1, 1, 2, 2, 2, 2, 2, 2, 1, 2, 2, 2, 2, 2, 2, 1)
+
+_SBOXES = (
+    # S1
+    (
+        (14, 4, 13, 1, 2, 15, 11, 8, 3, 10, 6, 12, 5, 9, 0, 7),
+        (0, 15, 7, 4, 14, 2, 13, 1, 10, 6, 12, 11, 9, 5, 3, 8),
+        (4, 1, 14, 8, 13, 6, 2, 11, 15, 12, 9, 7, 3, 10, 5, 0),
+        (15, 12, 8, 2, 4, 9, 1, 7, 5, 11, 3, 14, 10, 0, 6, 13),
+    ),
+    # S2
+    (
+        (15, 1, 8, 14, 6, 11, 3, 4, 9, 7, 2, 13, 12, 0, 5, 10),
+        (3, 13, 4, 7, 15, 2, 8, 14, 12, 0, 1, 10, 6, 9, 11, 5),
+        (0, 14, 7, 11, 10, 4, 13, 1, 5, 8, 12, 6, 9, 3, 2, 15),
+        (13, 8, 10, 1, 3, 15, 4, 2, 11, 6, 7, 12, 0, 5, 14, 9),
+    ),
+    # S3
+    (
+        (10, 0, 9, 14, 6, 3, 15, 5, 1, 13, 12, 7, 11, 4, 2, 8),
+        (13, 7, 0, 9, 3, 4, 6, 10, 2, 8, 5, 14, 12, 11, 15, 1),
+        (13, 6, 4, 9, 8, 15, 3, 0, 11, 1, 2, 12, 5, 10, 14, 7),
+        (1, 10, 13, 0, 6, 9, 8, 7, 4, 15, 14, 3, 11, 5, 2, 12),
+    ),
+    # S4
+    (
+        (7, 13, 14, 3, 0, 6, 9, 10, 1, 2, 8, 5, 11, 12, 4, 15),
+        (13, 8, 11, 5, 6, 15, 0, 3, 4, 7, 2, 12, 1, 10, 14, 9),
+        (10, 6, 9, 0, 12, 11, 7, 13, 15, 1, 3, 14, 5, 2, 8, 4),
+        (3, 15, 0, 6, 10, 1, 13, 8, 9, 4, 5, 11, 12, 7, 2, 14),
+    ),
+    # S5
+    (
+        (2, 12, 4, 1, 7, 10, 11, 6, 8, 5, 3, 15, 13, 0, 14, 9),
+        (14, 11, 2, 12, 4, 7, 13, 1, 5, 0, 15, 10, 3, 9, 8, 6),
+        (4, 2, 1, 11, 10, 13, 7, 8, 15, 9, 12, 5, 6, 3, 0, 14),
+        (11, 8, 12, 7, 1, 14, 2, 13, 6, 15, 0, 9, 10, 4, 5, 3),
+    ),
+    # S6
+    (
+        (12, 1, 10, 15, 9, 2, 6, 8, 0, 13, 3, 4, 14, 7, 5, 11),
+        (10, 15, 4, 2, 7, 12, 9, 5, 6, 1, 13, 14, 0, 11, 3, 8),
+        (9, 14, 15, 5, 2, 8, 12, 3, 7, 0, 4, 10, 1, 13, 11, 6),
+        (4, 3, 2, 12, 9, 5, 15, 10, 11, 14, 1, 7, 6, 0, 8, 13),
+    ),
+    # S7
+    (
+        (4, 11, 2, 14, 15, 0, 8, 13, 3, 12, 9, 7, 5, 10, 6, 1),
+        (13, 0, 11, 7, 4, 9, 1, 10, 14, 3, 5, 12, 2, 15, 8, 6),
+        (1, 4, 11, 13, 12, 3, 7, 14, 10, 15, 6, 8, 0, 5, 9, 2),
+        (6, 11, 13, 8, 1, 4, 10, 7, 9, 5, 0, 15, 14, 2, 3, 12),
+    ),
+    # S8
+    (
+        (13, 2, 8, 4, 6, 15, 11, 1, 10, 9, 3, 14, 5, 0, 12, 7),
+        (1, 15, 13, 8, 10, 3, 7, 4, 12, 5, 6, 11, 0, 14, 9, 2),
+        (7, 11, 4, 1, 9, 12, 14, 2, 0, 6, 10, 13, 15, 3, 5, 8),
+        (2, 1, 14, 7, 4, 10, 8, 13, 15, 12, 9, 0, 3, 5, 6, 11),
+    ),
+)
+
+
+def _permute(value: int, width: int, table: Sequence[int]) -> int:
+    """Apply a FIPS bit-permutation table to ``value`` of ``width`` bits.
+
+    Table entries are 1-indexed from the most significant bit, per the
+    standard's convention.  This direct form is the specification; the
+    hot paths use byte-indexed lookup tables built from it by
+    :func:`_build_permutation_luts` (bit permutations distribute over
+    OR, so the result is the OR of one table lookup per input byte).
+    """
+    out = 0
+    for pos in table:
+        out = (out << 1) | ((value >> (width - pos)) & 1)
+    return out
+
+
+def _build_permutation_luts(width: int, table: Sequence[int]):
+    """Precompute per-input-byte lookup tables for a bit permutation."""
+    nbytes = width // 8
+    luts = []
+    for byte_index in range(nbytes):
+        shift = width - 8 * (byte_index + 1)
+        entries = [
+            _permute(byte_value << shift, width, table) for byte_value in range(256)
+        ]
+        luts.append(tuple(entries))
+    return tuple(luts)
+
+
+def _apply_luts(value: int, width: int, luts) -> int:
+    out = 0
+    for byte_index, lut in enumerate(luts):
+        shift = width - 8 * (byte_index + 1)
+        out |= lut[(value >> shift) & 0xFF]
+    return out
+
+
+_IP_LUTS = _build_permutation_luts(64, _IP)
+_FP_LUTS = _build_permutation_luts(64, _FP)
+_PC1_LUTS = _build_permutation_luts(64, _PC1)
+# PC2 consumes a 56-bit quantity: pad to 56 bits (7 bytes).
+_PC2_LUTS = _build_permutation_luts(56, _PC2)
+# The expansion E consumes 32 bits and emits 48.
+_E_LUTS = _build_permutation_luts(32, _E)
+
+# SP boxes: S-box output already run through the P permutation, so one
+# lookup per 6-bit chunk replaces the per-round S + P work.
+_SP = []
+for _box in range(8):
+    entries = []
+    for _chunk in range(64):
+        _row = ((_chunk >> 4) & 0b10) | (_chunk & 1)
+        _col = (_chunk >> 1) & 0x0F
+        _s_out = _SBOXES[_box][_row][_col] << (28 - 4 * _box)
+        entries.append(_permute(_s_out, 32, _P))
+    _SP.append(tuple(entries))
+_SP = tuple(_SP)
+
+
+def _rotate_left_28(value: int, amount: int) -> int:
+    """Rotate a 28-bit quantity left by ``amount`` bits."""
+    return ((value << amount) | (value >> (28 - amount))) & 0x0FFFFFFF
+
+
+class DES:
+    """DES with a fixed key, exposing single-block encrypt/decrypt.
+
+    Parameters
+    ----------
+    key:
+        8-byte key.  Parity bits (the least significant bit of each byte)
+        are ignored, per FIPS 46.
+
+    Higher-level modes of operation (CBC and friends, padding) live in
+    :mod:`repro.crypto.modes`.
+    """
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) != BLOCK_SIZE:
+            raise ValueError(f"DES key must be 8 bytes, got {len(key)}")
+        self._subkeys = self._key_schedule(int.from_bytes(key, "big"))
+
+    @staticmethod
+    def _key_schedule(key: int) -> List[int]:
+        """Derive the sixteen 48-bit round subkeys."""
+        permuted = _apply_luts(key, 64, _PC1_LUTS)
+        c = (permuted >> 28) & 0x0FFFFFFF
+        d = permuted & 0x0FFFFFFF
+        subkeys = []
+        for shift in _SHIFTS:
+            c = _rotate_left_28(c, shift)
+            d = _rotate_left_28(d, shift)
+            subkeys.append(_apply_luts((c << 28) | d, 56, _PC2_LUTS))
+        return subkeys
+
+    @staticmethod
+    def _feistel(half: int, subkey: int) -> int:
+        """The DES round function f(R, K), via fused SP-box lookups."""
+        expanded = _apply_luts(half, 32, _E_LUTS) ^ subkey
+        return (
+            _SP[0][(expanded >> 42) & 0x3F]
+            | _SP[1][(expanded >> 36) & 0x3F]
+            | _SP[2][(expanded >> 30) & 0x3F]
+            | _SP[3][(expanded >> 24) & 0x3F]
+            | _SP[4][(expanded >> 18) & 0x3F]
+            | _SP[5][(expanded >> 12) & 0x3F]
+            | _SP[6][(expanded >> 6) & 0x3F]
+            | _SP[7][expanded & 0x3F]
+        )
+
+    def _crypt_block(self, block: int, subkeys: Sequence[int]) -> int:
+        block = _apply_luts(block, 64, _IP_LUTS)
+        left = (block >> 32) & 0xFFFFFFFF
+        right = block & 0xFFFFFFFF
+        feistel = self._feistel
+        for subkey in subkeys:
+            left, right = right, left ^ feistel(right, subkey)
+        # Final swap then inverse initial permutation.
+        return _apply_luts((right << 32) | left, 64, _FP_LUTS)
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt a single 8-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"DES block must be 8 bytes, got {len(block)}")
+        value = self._crypt_block(int.from_bytes(block, "big"), self._subkeys)
+        return value.to_bytes(BLOCK_SIZE, "big")
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt a single 8-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"DES block must be 8 bytes, got {len(block)}")
+        value = self._crypt_block(
+            int.from_bytes(block, "big"), tuple(reversed(self._subkeys))
+        )
+        return value.to_bytes(BLOCK_SIZE, "big")

@@ -1,0 +1,119 @@
+"""Diffie-Hellman key exchange -- the basis of zero-message keying.
+
+FBS derives the implicit pair-based master key::
+
+    K_{S,D} = g^{sd} mod p
+
+from each principal's private value (``s``, ``d``) and the peer's public
+value (``g^d mod p``, ``g^s mod p``) over a common, well-known group
+(Section 5.2).  The confidentiality of the private values and the
+authenticity of the public values are assumed by the protocol; the
+certificate machinery that delivers authenticated public values lives in
+:mod:`repro.core.certificates`.
+
+Groups
+------
+``WELL_KNOWN_GROUPS`` ships the Oakley groups 1 and 2 (RFC 2409) -- the
+groups contemporary with the paper -- plus two small fixed safe-prime
+groups (``TEST128``, ``TEST256``) used throughout the test suite where
+cryptographic strength is irrelevant but speed matters.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["DHGroup", "DHPrivateKey", "WELL_KNOWN_GROUPS"]
+
+_OAKLEY1_P = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A63A3620FFFFFFFFFFFFFFFF",
+    16,
+)
+
+_OAKLEY2_P = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE65381FFFFFFFFFFFFFFFF",
+    16,
+)
+
+# Fixed safe primes (p = 2q + 1, q prime) generated once and pinned for
+# deterministic, fast tests.
+_TEST128_P = 0xEB93F78CC415E2B0BA5B209EF18B20E7
+_TEST256_P = 0x8DF854994726EEB94A597E2642F883D47B91D68CAE4021510D6D4CEE5AF60563
+
+
+@dataclass(frozen=True)
+class DHGroup:
+    """A Diffie-Hellman group: prime modulus ``p`` and generator ``g``."""
+
+    name: str
+    p: int
+    g: int = 2
+
+    @property
+    def key_bytes(self) -> int:
+        """Size of a shared secret when serialized, in bytes."""
+        return (self.p.bit_length() + 7) // 8
+
+    def public_value(self, private: int) -> int:
+        """Compute ``g^private mod p``."""
+        return pow(self.g, private, self.p)
+
+    def shared_secret(self, private: int, peer_public: int) -> int:
+        """Compute the pair secret ``peer_public^private mod p``.
+
+        Rejects degenerate peer values (0, 1, p-1, or out of range) that
+        would collapse the shared secret into a guessable constant.
+        """
+        if not 1 < peer_public < self.p - 1:
+            raise ValueError("degenerate or out-of-range DH public value")
+        return pow(peer_public, private, self.p)
+
+    def shared_secret_bytes(self, private: int, peer_public: int) -> bytes:
+        """Shared secret as a fixed-width big-endian byte string."""
+        return self.shared_secret(private, peer_public).to_bytes(
+            self.key_bytes, "big"
+        )
+
+
+WELL_KNOWN_GROUPS: Dict[str, DHGroup] = {
+    "OAKLEY1": DHGroup("OAKLEY1", _OAKLEY1_P, 2),
+    "OAKLEY2": DHGroup("OAKLEY2", _OAKLEY2_P, 2),
+    "TEST128": DHGroup("TEST128", _TEST128_P, 2),
+    "TEST256": DHGroup("TEST256", _TEST256_P, 2),
+}
+
+
+@dataclass
+class DHPrivateKey:
+    """A principal's Diffie-Hellman private value and cached public value.
+
+    The paper assumes each principal holds a long-term private value whose
+    public counterpart is certified (Section 5.2).  ``generate`` draws the
+    private value from an explicit seeded RNG for reproducibility.
+    """
+
+    group: DHGroup
+    private: int
+    public: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not 1 < self.private < self.group.p - 2:
+            raise ValueError("DH private value out of range")
+        self.public = self.group.public_value(self.private)
+
+    @classmethod
+    def generate(cls, group: DHGroup, rng: _random.Random) -> "DHPrivateKey":
+        """Generate a fresh private value from ``rng``."""
+        private = rng.randrange(2, group.p - 2)
+        return cls(group=group, private=private)
+
+    def agree(self, peer_public: int) -> bytes:
+        """Derive the pair-based master secret with a peer's public value."""
+        return self.group.shared_secret_bytes(self.private, peer_public)

@@ -1,0 +1,118 @@
+"""MD5 message digest (RFC 1321), implemented from scratch.
+
+MD5 is the paper's choice both for the flow-key derivation hash ``H`` and
+for the keyed MAC ("keyed MD5 is used to compute the MAC", Section 7.2).
+This is a streaming implementation with the familiar ``update``/``digest``
+interface; correctness is checked against the RFC 1321 test suite and
+against :mod:`hashlib` by the tests.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+__all__ = ["MD5", "md5", "DIGEST_SIZE"]
+
+#: MD5 digest size in bytes (the paper's 128-bit MAC field).
+DIGEST_SIZE = 16
+
+# Per-round left-rotation amounts.
+_SHIFTS = (
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+)
+
+# Sine-derived additive constants, as specified by RFC 1321.
+_K = tuple(int(abs(math.sin(i + 1)) * 2**32) & 0xFFFFFFFF for i in range(64))
+
+_INIT_STATE = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476)
+
+
+def _rotl32(value: int, amount: int) -> int:
+    value &= 0xFFFFFFFF
+    return ((value << amount) | (value >> (32 - amount))) & 0xFFFFFFFF
+
+
+class MD5:
+    """Incremental MD5, mirroring the ``hashlib`` object protocol."""
+
+    digest_size = DIGEST_SIZE
+    block_size = 64
+    name = "md5"
+
+    def __init__(self, data: bytes = b"") -> None:
+        self._state = list(_INIT_STATE)
+        self._buffer = b""
+        self._length = 0
+        if data:
+            self.update(data)
+
+    def update(self, data: bytes) -> None:
+        """Absorb more message bytes."""
+        self._length += len(data)
+        self._buffer += data
+        while len(self._buffer) >= 64:
+            self._compress(self._buffer[:64])
+            self._buffer = self._buffer[64:]
+
+    def _compress(self, chunk: bytes) -> None:
+        words = struct.unpack("<16I", chunk)
+        a, b, c, d = self._state
+        for i in range(64):
+            if i < 16:
+                f = (b & c) | (~b & d)
+                g = i
+            elif i < 32:
+                f = (d & b) | (~d & c)
+                g = (5 * i + 1) % 16
+            elif i < 48:
+                f = b ^ c ^ d
+                g = (3 * i + 5) % 16
+            else:
+                f = c ^ (b | (~d & 0xFFFFFFFF))
+                g = (7 * i) % 16
+            temp = d
+            d = c
+            c = b
+            rotated = _rotl32(a + f + _K[i] + words[g], _SHIFTS[i])
+            b = (b + rotated) & 0xFFFFFFFF
+            a = temp
+        self._state = [
+            (self._state[0] + a) & 0xFFFFFFFF,
+            (self._state[1] + b) & 0xFFFFFFFF,
+            (self._state[2] + c) & 0xFFFFFFFF,
+            (self._state[3] + d) & 0xFFFFFFFF,
+        ]
+
+    def digest(self) -> bytes:
+        """Return the 16-byte digest of everything absorbed so far."""
+        clone = self.copy()
+        bit_length = (clone._length * 8) & 0xFFFFFFFFFFFFFFFF
+        clone.update(b"\x80")
+        while len(clone._buffer) != 56:
+            clone.update(b"\x00")
+        # Bypass update() for the length block: the length has already
+        # been captured.
+        clone._buffer += struct.pack("<Q", bit_length)
+        clone._compress(clone._buffer)
+        return struct.pack("<4I", *clone._state)
+
+    def hexdigest(self) -> str:
+        """Return the digest as a lowercase hex string."""
+        return self.digest().hex()
+
+    def copy(self) -> "MD5":
+        """Return an independent copy of the running state."""
+        clone = MD5()
+        clone._state = list(self._state)
+        clone._buffer = self._buffer
+        clone._length = self._length
+        return clone
+
+
+def md5(data: bytes) -> bytes:
+    """One-shot MD5 digest of ``data``."""
+    return MD5(data).digest()

@@ -1,0 +1,220 @@
+"""Block cipher modes of operation (FIPS 81) with FBS confounder rules.
+
+FBS Section 5.2 defines how the per-datagram *confounder* is consumed by
+the cipher:
+
+* In CBC, CFB, and OFB modes the confounder is used directly as the
+  initialization vector (IV).
+* In ECB mode the confounder is "XOR'ed with every block of plaintext
+  prior to encryption".
+* The paper's IP mapping carries a 32-bit confounder which is "first
+  duplicated to provide a 64-bit quantity" before use with DES
+  (Section 7.2); that widening lives in :mod:`repro.core.header`, not
+  here -- this module always takes a full-block IV.
+
+Padding: datagram bodies are arbitrary length, so CBC/ECB use a
+self-describing pad (PKCS#7 style) appended before encryption and removed
+after decryption.  CFB and OFB are stream-like and need no padding.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable
+
+from repro.crypto.des import BLOCK_SIZE, DES
+
+__all__ = [
+    "CipherMode",
+    "pad_block",
+    "unpad_block",
+    "encrypt_ecb_confounded",
+    "decrypt_ecb_confounded",
+    "encrypt_cbc",
+    "decrypt_cbc",
+    "encrypt_cfb",
+    "decrypt_cfb",
+    "encrypt_ofb",
+    "decrypt_ofb",
+    "encrypt",
+    "decrypt",
+]
+
+
+class CipherMode(enum.Enum):
+    """FIPS 81 modes supported by the FBS encryption path."""
+
+    ECB = "ecb"
+    CBC = "cbc"
+    CFB = "cfb"
+    OFB = "ofb"
+
+
+def _xor(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def pad_block(data: bytes) -> bytes:
+    """Append a PKCS#7-style pad bringing ``data`` to a block multiple.
+
+    A full block of padding is added when the input is already aligned so
+    the pad is always unambiguous.
+    """
+    pad_len = BLOCK_SIZE - (len(data) % BLOCK_SIZE)
+    return data + bytes([pad_len]) * pad_len
+
+
+def unpad_block(data: bytes) -> bytes:
+    """Strip the pad appended by :func:`pad_block`.
+
+    Raises
+    ------
+    ValueError
+        If the padding is malformed (wrong length byte or inconsistent
+        fill).  Under FBS a bad pad normally cannot be reached because the
+        MAC is verified first, but the check guards direct users of the
+        mode layer.
+    """
+    if not data or len(data) % BLOCK_SIZE:
+        raise ValueError("ciphertext not a whole number of blocks")
+    pad_len = data[-1]
+    if not 1 <= pad_len <= BLOCK_SIZE:
+        raise ValueError("corrupt padding length")
+    if data[-pad_len:] != bytes([pad_len]) * pad_len:
+        raise ValueError("corrupt padding fill")
+    return data[:-pad_len]
+
+
+def _check_iv(iv: bytes) -> None:
+    if len(iv) != BLOCK_SIZE:
+        raise ValueError(f"IV/confounder must be {BLOCK_SIZE} bytes, got {len(iv)}")
+
+
+# ---------------------------------------------------------------------------
+# ECB with confounder (the FBS Section 5.2 rule).
+# ---------------------------------------------------------------------------
+
+def encrypt_ecb_confounded(cipher: DES, confounder: bytes, plaintext: bytes) -> bytes:
+    """ECB where the confounder is XOR'ed into every plaintext block."""
+    _check_iv(confounder)
+    padded = pad_block(plaintext)
+    out = bytearray()
+    for i in range(0, len(padded), BLOCK_SIZE):
+        block = _xor(padded[i : i + BLOCK_SIZE], confounder)
+        out += cipher.encrypt_block(block)
+    return bytes(out)
+
+
+def decrypt_ecb_confounded(cipher: DES, confounder: bytes, ciphertext: bytes) -> bytes:
+    """Inverse of :func:`encrypt_ecb_confounded`."""
+    _check_iv(confounder)
+    out = bytearray()
+    for i in range(0, len(ciphertext), BLOCK_SIZE):
+        block = cipher.decrypt_block(ciphertext[i : i + BLOCK_SIZE])
+        out += _xor(block, confounder)
+    return unpad_block(bytes(out))
+
+
+# ---------------------------------------------------------------------------
+# CBC -- the mode used by the paper's implementation (DES in CBC mode).
+# ---------------------------------------------------------------------------
+
+def encrypt_cbc(cipher: DES, iv: bytes, plaintext: bytes) -> bytes:
+    """CBC encryption; the confounder is the IV."""
+    _check_iv(iv)
+    padded = pad_block(plaintext)
+    out = bytearray()
+    chain = iv
+    for i in range(0, len(padded), BLOCK_SIZE):
+        chain = cipher.encrypt_block(_xor(padded[i : i + BLOCK_SIZE], chain))
+        out += chain
+    return bytes(out)
+
+
+def decrypt_cbc(cipher: DES, iv: bytes, ciphertext: bytes) -> bytes:
+    """CBC decryption; inverse of :func:`encrypt_cbc`."""
+    _check_iv(iv)
+    if len(ciphertext) % BLOCK_SIZE:
+        raise ValueError("ciphertext not a whole number of blocks")
+    out = bytearray()
+    chain = iv
+    for i in range(0, len(ciphertext), BLOCK_SIZE):
+        block = ciphertext[i : i + BLOCK_SIZE]
+        out += _xor(cipher.decrypt_block(block), chain)
+        chain = block
+    return unpad_block(bytes(out))
+
+
+# ---------------------------------------------------------------------------
+# CFB / OFB -- stream modes (full-block feedback), no padding required.
+# ---------------------------------------------------------------------------
+
+def encrypt_cfb(cipher: DES, iv: bytes, plaintext: bytes) -> bytes:
+    """Full-block CFB encryption."""
+    _check_iv(iv)
+    out = bytearray()
+    chain = iv
+    for i in range(0, len(plaintext), BLOCK_SIZE):
+        keystream = cipher.encrypt_block(chain)
+        chunk = plaintext[i : i + BLOCK_SIZE]
+        enc = _xor(chunk, keystream[: len(chunk)])
+        out += enc
+        chain = (enc + chain)[:BLOCK_SIZE] if len(enc) < BLOCK_SIZE else enc
+    return bytes(out)
+
+
+def decrypt_cfb(cipher: DES, iv: bytes, ciphertext: bytes) -> bytes:
+    """Full-block CFB decryption."""
+    _check_iv(iv)
+    out = bytearray()
+    chain = iv
+    for i in range(0, len(ciphertext), BLOCK_SIZE):
+        keystream = cipher.encrypt_block(chain)
+        chunk = ciphertext[i : i + BLOCK_SIZE]
+        out += _xor(chunk, keystream[: len(chunk)])
+        chain = (chunk + chain)[:BLOCK_SIZE] if len(chunk) < BLOCK_SIZE else chunk
+    return bytes(out)
+
+
+def encrypt_ofb(cipher: DES, iv: bytes, plaintext: bytes) -> bytes:
+    """OFB encryption (symmetric with decryption)."""
+    _check_iv(iv)
+    out = bytearray()
+    feedback = iv
+    for i in range(0, len(plaintext), BLOCK_SIZE):
+        feedback = cipher.encrypt_block(feedback)
+        chunk = plaintext[i : i + BLOCK_SIZE]
+        out += _xor(chunk, feedback[: len(chunk)])
+    return bytes(out)
+
+
+def decrypt_ofb(cipher: DES, iv: bytes, ciphertext: bytes) -> bytes:
+    """OFB decryption -- identical to encryption."""
+    return encrypt_ofb(cipher, iv, ciphertext)
+
+
+_ENCRYPTORS: dict = {
+    CipherMode.ECB: encrypt_ecb_confounded,
+    CipherMode.CBC: encrypt_cbc,
+    CipherMode.CFB: encrypt_cfb,
+    CipherMode.OFB: encrypt_ofb,
+}
+
+_DECRYPTORS: dict = {
+    CipherMode.ECB: decrypt_ecb_confounded,
+    CipherMode.CBC: decrypt_cbc,
+    CipherMode.CFB: decrypt_cfb,
+    CipherMode.OFB: decrypt_ofb,
+}
+
+
+def encrypt(mode: CipherMode, cipher: DES, confounder: bytes, plaintext: bytes) -> bytes:
+    """Encrypt under the given mode, applying the FBS confounder rule."""
+    func: Callable[[DES, bytes, bytes], bytes] = _ENCRYPTORS[mode]
+    return func(cipher, confounder, plaintext)
+
+
+def decrypt(mode: CipherMode, cipher: DES, confounder: bytes, ciphertext: bytes) -> bytes:
+    """Decrypt under the given mode, applying the FBS confounder rule."""
+    func: Callable[[DES, bytes, bytes], bytes] = _DECRYPTORS[mode]
+    return func(cipher, confounder, ciphertext)

@@ -1,0 +1,132 @@
+"""Random number generators: statistical vs. cryptographic.
+
+The paper draws a sharp line between the two (Sections 2.2 and 5.3):
+
+* Confounders "need only be statistically random, as opposed to
+  cryptographically random", so they may come from "the highly efficient
+  linear congruential generators" (Knuth vol. 2);
+  :class:`LinearCongruential` implements that generator.
+* Per-datagram keys in the host-pair-keying baseline must be
+  cryptographically random, and the paper names the quadratic residue
+  generator of Blum, Blum and Shub as the (expensive) canonical choice;
+  :class:`BlumBlumShub` implements it, and the ablation benches show the
+  cost gap the paper warns about.
+* :class:`CounterRandom` is a deterministic MD5-counter stream used for
+  reproducible simulation inputs (not a paper artifact).
+
+Every generator is explicitly seeded; none touches global state.
+"""
+
+from __future__ import annotations
+
+import math
+import random as _random
+from typing import Optional
+
+from repro.crypto.md5 import md5
+from repro.crypto.primes import generate_prime, is_probable_prime
+
+__all__ = ["LinearCongruential", "BlumBlumShub", "CounterRandom"]
+
+
+class LinearCongruential:
+    """Knuth-style linear congruential generator (statistically random).
+
+    Uses the classic MMIX parameters: ``x' = a*x + c mod 2^64``.  Fast but
+    predictable -- exactly the trade-off the paper accepts for
+    confounders, whose only job is to hide identical plaintext datagrams.
+    """
+
+    _A = 6364136223846793005
+    _C = 1442695040888963407
+    _MASK = (1 << 64) - 1
+
+    def __init__(self, seed: int) -> None:
+        self._state = seed & self._MASK
+
+    def next_u32(self) -> int:
+        """Return the next 32-bit output (high word of the LCG state)."""
+        self._state = (self._A * self._state + self._C) & self._MASK
+        return (self._state >> 32) & 0xFFFFFFFF
+
+    def next_bytes(self, n: int) -> bytes:
+        """Return ``n`` pseudo-random bytes."""
+        out = bytearray()
+        while len(out) < n:
+            out += self.next_u32().to_bytes(4, "big")
+        return bytes(out[:n])
+
+
+class BlumBlumShub:
+    """Blum-Blum-Shub quadratic residue generator (cryptographically random).
+
+    ``x' = x^2 mod n`` with ``n = p*q``, ``p ≡ q ≡ 3 (mod 4)``; one bit is
+    extracted per squaring (the least significant bit).  Deliberately slow
+    -- the paper cites it as the performance bottleneck that makes
+    per-datagram keying unattractive (Section 2.2).
+    """
+
+    def __init__(self, seed: int, bits: int = 128, rng: Optional[_random.Random] = None) -> None:
+        rng = rng or _random.Random(seed ^ 0x5DEECE66D)
+        self._n = self._blum_modulus(bits, rng)
+        x = seed % self._n
+        # The seed must be coprime with n and not a fixed point.
+        while math.gcd(x, self._n) != 1 or x in (0, 1):
+            x += 1
+        self._state = pow(x, 2, self._n)
+
+    @staticmethod
+    def _blum_prime(bits: int, rng: _random.Random) -> int:
+        while True:
+            p = generate_prime(bits, rng)
+            if p % 4 == 3:
+                return p
+
+    @classmethod
+    def _blum_modulus(cls, bits: int, rng: _random.Random) -> int:
+        p = cls._blum_prime(bits // 2, rng)
+        q = cls._blum_prime(bits - bits // 2, rng)
+        while q == p:
+            q = cls._blum_prime(bits - bits // 2, rng)
+        return p * q
+
+    def next_bit(self) -> int:
+        """Produce one cryptographically strong bit."""
+        self._state = pow(self._state, 2, self._n)
+        return self._state & 1
+
+    def next_bytes(self, n: int) -> bytes:
+        """Produce ``n`` strong bytes (8 squarings per byte)."""
+        out = bytearray()
+        for _ in range(n):
+            byte = 0
+            for _ in range(8):
+                byte = (byte << 1) | self.next_bit()
+            out.append(byte)
+        return bytes(out)
+
+
+class CounterRandom:
+    """Deterministic MD5-counter byte stream for reproducible simulations.
+
+    Not part of the paper; used wherever the test suite or workload
+    generator needs an arbitrary-length reproducible byte stream.
+    """
+
+    def __init__(self, seed: bytes) -> None:
+        self._seed = seed
+        self._counter = 0
+        self._pool = b""
+
+    def next_bytes(self, n: int) -> bytes:
+        """Return the next ``n`` bytes of the stream."""
+        while len(self._pool) < n:
+            block = md5(self._seed + self._counter.to_bytes(8, "big"))
+            self._counter += 1
+            self._pool += block
+        out, self._pool = self._pool[:n], self._pool[n:]
+        return out
+
+    def next_u32(self) -> int:
+        """Return the next 32-bit word of the stream."""
+        return int.from_bytes(self.next_bytes(4), "big")

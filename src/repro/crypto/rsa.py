@@ -1,0 +1,101 @@
+"""Minimal RSA signatures for public-value certificates.
+
+The paper assumes "the public values are made available and authenticated
+via a distributed certification hierarchy (e.g., X.509 certificates)"
+(Section 5.2).  Our certificate substrate signs certificates with RSA;
+this module is a self-contained textbook-RSA-with-padding implementation
+(MD5 digest, PKCS#1 v1.5-shaped encoding) sufficient for an authentic
+end-to-end certificate-verification path inside the simulation.
+
+It is NOT hardened for production use outside the simulation (no
+constant-time bignum arithmetic, small default moduli for speed).
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass
+
+from repro.crypto.md5 import md5
+from repro.crypto.primes import generate_prime
+
+__all__ = ["RSAPublicKey", "RSAKeyPair", "SignatureError"]
+
+_MD5_DER_PREFIX = bytes.fromhex("3020300c06082a864886f70d020505000410")
+
+
+class SignatureError(Exception):
+    """Raised when a signature fails verification."""
+
+
+def _emsa_encode(message: bytes, em_len: int) -> bytes:
+    """PKCS#1 v1.5 style encoding of an MD5 digest into ``em_len`` bytes."""
+    digest_info = _MD5_DER_PREFIX + md5(message)
+    pad_len = em_len - len(digest_info) - 3
+    if pad_len < 8:
+        raise ValueError("RSA modulus too small for MD5 signature encoding")
+    return b"\x00\x01" + b"\xff" * pad_len + b"\x00" + digest_info
+
+
+@dataclass(frozen=True)
+class RSAPublicKey:
+    """An RSA public key ``(n, e)`` with signature verification."""
+
+    n: int
+    e: int
+
+    @property
+    def size_bytes(self) -> int:
+        return (self.n.bit_length() + 7) // 8
+
+    def verify(self, message: bytes, signature: bytes) -> None:
+        """Verify ``signature`` over ``message``.
+
+        Raises
+        ------
+        SignatureError
+            If the signature does not check out.
+        """
+        if len(signature) != self.size_bytes:
+            raise SignatureError("signature length mismatch")
+        s = int.from_bytes(signature, "big")
+        if s >= self.n:
+            raise SignatureError("signature out of range")
+        em = pow(s, self.e, self.n).to_bytes(self.size_bytes, "big")
+        try:
+            expected = _emsa_encode(message, self.size_bytes)
+        except ValueError as exc:
+            raise SignatureError(str(exc)) from exc
+        if em != expected:
+            raise SignatureError("signature verification failed")
+
+
+@dataclass(frozen=True)
+class RSAKeyPair:
+    """An RSA key pair with deterministic generation and signing."""
+
+    public: RSAPublicKey
+    d: int
+
+    @classmethod
+    def generate(cls, bits: int, rng: _random.Random, e: int = 65537) -> "RSAKeyPair":
+        """Generate a key pair with modulus of roughly ``bits`` bits."""
+        if bits < 384:
+            raise ValueError("RSA modulus must be at least 384 bits for MD5 signing")
+        while True:
+            p = generate_prime(bits // 2, rng)
+            q = generate_prime(bits - bits // 2, rng)
+            if p == q:
+                continue
+            phi = (p - 1) * (q - 1)
+            if phi % e == 0:
+                continue
+            n = p * q
+            d = pow(e, -1, phi)
+            return cls(public=RSAPublicKey(n=n, e=e), d=d)
+
+    def sign(self, message: bytes) -> bytes:
+        """Produce a signature over ``message``."""
+        em = _emsa_encode(message, self.public.size_bytes)
+        m = int.from_bytes(em, "big")
+        return pow(m, self.d, self.public.n).to_bytes(self.public.size_bytes, "big")

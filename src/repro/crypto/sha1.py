@@ -1,0 +1,107 @@
+"""SHA-1 / Secure Hash Standard (FIPS 180), implemented from scratch.
+
+The paper names SHS as an alternative candidate for the hash function
+``H`` used in flow-key derivation (Section 5.2) and notes that it
+"produces 160-bit hashes" (Section 5.3).  As with MD5, this is a clear
+streaming reference implementation validated against FIPS vectors and
+``hashlib`` in the tests.
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = ["SHA1", "sha1", "DIGEST_SIZE"]
+
+#: SHA-1 digest size in bytes (160 bits).
+DIGEST_SIZE = 20
+
+_INIT_STATE = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0)
+
+
+def _rotl32(value: int, amount: int) -> int:
+    value &= 0xFFFFFFFF
+    return ((value << amount) | (value >> (32 - amount))) & 0xFFFFFFFF
+
+
+class SHA1:
+    """Incremental SHA-1, mirroring the ``hashlib`` object protocol."""
+
+    digest_size = DIGEST_SIZE
+    block_size = 64
+    name = "sha1"
+
+    def __init__(self, data: bytes = b"") -> None:
+        self._state = list(_INIT_STATE)
+        self._buffer = b""
+        self._length = 0
+        if data:
+            self.update(data)
+
+    def update(self, data: bytes) -> None:
+        """Absorb more message bytes."""
+        self._length += len(data)
+        self._buffer += data
+        while len(self._buffer) >= 64:
+            self._compress(self._buffer[:64])
+            self._buffer = self._buffer[64:]
+
+    def _compress(self, chunk: bytes) -> None:
+        w = list(struct.unpack(">16I", chunk))
+        for i in range(16, 80):
+            w.append(_rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1))
+        a, b, c, d, e = self._state
+        for i in range(80):
+            if i < 20:
+                f = (b & c) | (~b & d)
+                k = 0x5A827999
+            elif i < 40:
+                f = b ^ c ^ d
+                k = 0x6ED9EBA1
+            elif i < 60:
+                f = (b & c) | (b & d) | (c & d)
+                k = 0x8F1BBCDC
+            else:
+                f = b ^ c ^ d
+                k = 0xCA62C1D6
+            temp = (_rotl32(a, 5) + f + e + k + w[i]) & 0xFFFFFFFF
+            e = d
+            d = c
+            c = _rotl32(b, 30)
+            b = a
+            a = temp
+        self._state = [
+            (self._state[0] + a) & 0xFFFFFFFF,
+            (self._state[1] + b) & 0xFFFFFFFF,
+            (self._state[2] + c) & 0xFFFFFFFF,
+            (self._state[3] + d) & 0xFFFFFFFF,
+            (self._state[4] + e) & 0xFFFFFFFF,
+        ]
+
+    def digest(self) -> bytes:
+        """Return the 20-byte digest of everything absorbed so far."""
+        clone = self.copy()
+        bit_length = (clone._length * 8) & 0xFFFFFFFFFFFFFFFF
+        clone.update(b"\x80")
+        while len(clone._buffer) != 56:
+            clone.update(b"\x00")
+        clone._buffer += struct.pack(">Q", bit_length)
+        clone._compress(clone._buffer)
+        return struct.pack(">5I", *clone._state)
+
+    def hexdigest(self) -> str:
+        """Return the digest as a lowercase hex string."""
+        return self.digest().hex()
+
+    def copy(self) -> "SHA1":
+        """Return an independent copy of the running state."""
+        clone = SHA1()
+        clone._state = list(self._state)
+        clone._buffer = self._buffer
+        clone._length = self._length
+        return clone
+
+
+def sha1(data: bytes) -> bytes:
+    """One-shot SHA-1 digest of ``data``."""
+    return SHA1(data).digest()

@@ -1,0 +1,161 @@
+"""Minimal ICMP: echo and destination-unreachable.
+
+Two message types cover what the simulation needs:
+
+* **Echo request/reply** -- the classic reachability probe, and (under
+  FBS) the canonical *raw IP* traffic that footnote 10 of the paper
+  classifies as host-level flows.
+* **Destination unreachable / fragmentation needed (type 3, code 4)** --
+  what 4.4BSD emits when a DF packet exceeds the next hop's MTU.  With
+  ICMP wired up, the tcp_output exact-fit breakage the paper describes
+  becomes *observable* at the sender instead of a silent stall.
+
+Wire format (RFC 792 shape)::
+
+    type (1) | code (1) | checksum (2) | rest-of-header (4) | payload
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.netsim.addresses import IPAddress
+from repro.netsim.ipv4 import IPProtocol, IPv4Header, IPv4Packet, checksum16
+
+__all__ = ["IcmpMessage", "IcmpLayer", "TYPE_ECHO_REQUEST", "TYPE_ECHO_REPLY",
+           "TYPE_UNREACHABLE", "CODE_FRAG_NEEDED"]
+
+TYPE_ECHO_REPLY = 0
+TYPE_UNREACHABLE = 3
+TYPE_ECHO_REQUEST = 8
+CODE_FRAG_NEEDED = 4
+
+_HEADER = ">BBHHH"
+_HEADER_LEN = 8
+
+
+@dataclass
+class IcmpMessage:
+    """One ICMP message."""
+
+    type: int
+    code: int
+    identifier: int = 0
+    sequence: int = 0
+    payload: bytes = b""
+
+    def encode(self) -> bytes:
+        head = struct.pack(
+            _HEADER, self.type, self.code, 0, self.identifier, self.sequence
+        )
+        body = head + self.payload
+        csum = checksum16(body)
+        return body[:2] + struct.pack(">H", csum) + body[4:]
+
+    @classmethod
+    def decode(cls, data: bytes) -> "IcmpMessage":
+        if len(data) < _HEADER_LEN:
+            raise ValueError("truncated ICMP message")
+        type_, code, _csum, identifier, sequence = struct.unpack_from(_HEADER, data, 0)
+        if checksum16(data) not in (0, 0xFFFF):
+            raise ValueError("ICMP checksum failure")
+        return cls(
+            type=type_,
+            code=code,
+            identifier=identifier,
+            sequence=sequence,
+            payload=data[_HEADER_LEN:],
+        )
+
+
+class IcmpLayer:
+    """ICMP handling for one host."""
+
+    def __init__(
+        self,
+        transmit: Callable[[IPv4Packet], None],
+        local_address: Callable[[IPAddress], IPAddress],
+    ) -> None:
+        self._transmit = transmit
+        self._local_address = local_address
+        self._next_identifier = 1
+        #: (identifier, sequence) -> callback(src).
+        self._pending_echoes: Dict[Tuple[int, int], Callable[[IPAddress], None]] = {}
+        #: Fired on every received unreachable: (code, original bytes).
+        self.on_unreachable: Optional[Callable[[int, bytes], None]] = None
+        self.echo_requests_answered = 0
+        self.echo_replies_received = 0
+        self.unreachables_received = 0
+
+    # -- sending ----------------------------------------------------------------
+
+    def ping(
+        self,
+        dst: IPAddress,
+        on_reply: Optional[Callable[[IPAddress], None]] = None,
+        payload: bytes = b"ping",
+        sequence: int = 1,
+    ) -> int:
+        """Send an echo request; returns the identifier."""
+        identifier = self._next_identifier
+        self._next_identifier += 1
+        if on_reply is not None:
+            self._pending_echoes[(identifier, sequence)] = on_reply
+        message = IcmpMessage(
+            type=TYPE_ECHO_REQUEST,
+            code=0,
+            identifier=identifier,
+            sequence=sequence,
+            payload=payload,
+        )
+        self._send(dst, message)
+        return identifier
+
+    def send_unreachable(
+        self, original: IPv4Packet, code: int = CODE_FRAG_NEEDED
+    ) -> None:
+        """Emit a type-3 error quoting the offending datagram's header."""
+        quote = original.encode()[:28]  # IP header + 8 bytes, per RFC 792
+        message = IcmpMessage(type=TYPE_UNREACHABLE, code=code, payload=quote)
+        self._send(original.header.src, message)
+
+    def _send(self, dst: IPAddress, message: IcmpMessage) -> None:
+        packet = IPv4Packet(
+            header=IPv4Header(
+                src=self._local_address(dst), dst=dst, proto=IPProtocol.ICMP
+            ),
+            payload=message.encode(),
+        )
+        self._transmit(packet)
+
+    # -- receiving -----------------------------------------------------------------
+
+    def deliver(self, packet: IPv4Packet) -> None:
+        """IP protocol handler for proto 1."""
+        try:
+            message = IcmpMessage.decode(packet.payload)
+        except ValueError:
+            return
+        if message.type == TYPE_ECHO_REQUEST:
+            self.echo_requests_answered += 1
+            reply = IcmpMessage(
+                type=TYPE_ECHO_REPLY,
+                code=0,
+                identifier=message.identifier,
+                sequence=message.sequence,
+                payload=message.payload,
+            )
+            self._send(packet.header.src, reply)
+        elif message.type == TYPE_ECHO_REPLY:
+            self.echo_replies_received += 1
+            callback = self._pending_echoes.pop(
+                (message.identifier, message.sequence), None
+            )
+            if callback is not None:
+                callback(packet.header.src)
+        elif message.type == TYPE_UNREACHABLE:
+            self.unreachables_received += 1
+            if self.on_unreachable is not None:
+                self.on_unreachable(message.code, message.payload)

@@ -1,0 +1,216 @@
+"""Links and shared Ethernet segments.
+
+Two transmission media are provided:
+
+* :class:`Link` -- a unidirectional point-to-point pipe with bandwidth,
+  propagation delay and (optionally) adverse conditions: loss,
+  duplication, and reordering jitter.  Datagram "features" the paper
+  explicitly preserves ("lack of sequencing ..., possibility of omission
+  and duplication", Section 3) are injected here.
+* :class:`EthernetSegment` -- the paper's "dedicated 10M Ethernet
+  segment": a shared broadcast medium that serializes transmissions
+  (one frame at a time, FIFO) and delivers every frame to every attached
+  receiver.  Promiscuous receivers model the tcpdump sniffers used for
+  the flow measurements in Section 7.3.
+
+Frames carry opaque bytes; framing overhead (preamble, MAC header, CRC,
+inter-frame gap -- 38 bytes on classic Ethernet) is accounted in
+serialization time.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.netsim.clock import Simulator
+
+__all__ = ["LinkConditions", "Link", "EthernetSegment", "ETHERNET_FRAMING_OVERHEAD"]
+
+#: Preamble (8) + MAC header (14) + CRC (4) + inter-frame gap (12) bytes.
+ETHERNET_FRAMING_OVERHEAD = 38
+
+Receiver = Callable[[bytes], None]
+
+
+@dataclass
+class LinkConditions:
+    """Adverse datagram-service conditions, applied per frame."""
+
+    loss_probability: float = 0.0
+    duplication_probability: float = 0.0
+    #: Maximum extra random delay (seconds); nonzero values reorder frames.
+    reorder_jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("loss_probability", "duplication_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {value}")
+        if self.reorder_jitter < 0:
+            raise ValueError("reorder_jitter must be non-negative")
+
+
+class Link:
+    """Unidirectional point-to-point link.
+
+    Frames are serialized at ``bandwidth_bps`` (plus framing overhead),
+    experience ``propagation_delay``, and may be dropped, duplicated, or
+    jittered according to ``conditions``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bps: float = 10_000_000.0,
+        propagation_delay: float = 50e-6,
+        conditions: Optional[LinkConditions] = None,
+        seed: int = 0,
+        framing_overhead: int = ETHERNET_FRAMING_OVERHEAD,
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        self._sim = sim
+        self._bandwidth = bandwidth_bps
+        self._delay = propagation_delay
+        self._conditions = conditions or LinkConditions()
+        self._rng = _random.Random(seed)
+        self._framing = framing_overhead
+        self._receiver: Optional[Receiver] = None
+        #: Time at which the transmitter becomes free (frames serialize).
+        self._tx_free_at = 0.0
+        # Statistics.
+        self.frames_sent = 0
+        self.frames_dropped = 0
+        self.frames_duplicated = 0
+        self.bytes_sent = 0
+
+    def attach(self, receiver: Receiver) -> None:
+        """Set the frame receiver at the far end."""
+        self._receiver = receiver
+
+    def serialization_time(self, nbytes: int) -> float:
+        """Wire time for a frame of ``nbytes`` payload."""
+        return (nbytes + self._framing) * 8 / self._bandwidth
+
+    @property
+    def busy_until(self) -> float:
+        """Virtual time at which the transmitter becomes idle."""
+        return self._tx_free_at
+
+    def send(self, frame: bytes) -> float:
+        """Queue ``frame`` for transmission; returns its departure time.
+
+        The transmitter serializes frames FIFO: a frame begins
+        transmission when the previous one has fully left the interface.
+        """
+        if self._receiver is None:
+            raise RuntimeError("link has no receiver attached")
+        start = max(self._sim.now, self._tx_free_at)
+        departure = start + self.serialization_time(len(frame))
+        self._tx_free_at = departure
+        self.frames_sent += 1
+        self.bytes_sent += len(frame)
+
+        copies = 1
+        if self._rng.random() < self._conditions.duplication_probability:
+            copies = 2
+            self.frames_duplicated += 1
+        for _ in range(copies):
+            if self._rng.random() < self._conditions.loss_probability:
+                self.frames_dropped += 1
+                continue
+            jitter = (
+                self._rng.random() * self._conditions.reorder_jitter
+                if self._conditions.reorder_jitter
+                else 0.0
+            )
+            arrival = departure + self._delay + jitter
+            receiver = self._receiver
+            self._sim.schedule_at(arrival, lambda f=frame: receiver(f))
+        return departure
+
+
+class EthernetSegment:
+    """A shared broadcast segment (classic 10 Mb/s Ethernet by default).
+
+    All attached receivers see every frame (the sender's own receiver is
+    skipped).  The medium is a single resource: transmissions serialize
+    FIFO across *all* stations, which is the dominant first-order
+    behaviour of CSMA/CD under the paper's dedicated-segment conditions.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bps: float = 10_000_000.0,
+        propagation_delay: float = 25e-6,
+        conditions: Optional[LinkConditions] = None,
+        seed: int = 0,
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        self._sim = sim
+        self._bandwidth = bandwidth_bps
+        self._delay = propagation_delay
+        self._conditions = conditions or LinkConditions()
+        self._rng = _random.Random(seed)
+        self._stations: List[Receiver] = []
+        self._taps: List[Receiver] = []
+        self._medium_free_at = 0.0
+        self.frames_sent = 0
+        self.frames_dropped = 0
+        self.bytes_sent = 0
+
+    def attach(self, receiver: Receiver) -> int:
+        """Attach a station; returns its station id (used to skip self)."""
+        self._stations.append(receiver)
+        return len(self._stations) - 1
+
+    def attach_tap(self, tap: Receiver) -> None:
+        """Attach a promiscuous tap (the tcpdump sniffer of Section 7.3).
+
+        Taps see every frame, including the sender's own, and are never
+        subject to loss.
+        """
+        self._taps.append(tap)
+
+    def serialization_time(self, nbytes: int) -> float:
+        """Wire time for a frame of ``nbytes`` payload."""
+        return (nbytes + ETHERNET_FRAMING_OVERHEAD) * 8 / self._bandwidth
+
+    @property
+    def busy_until(self) -> float:
+        """Virtual time at which the medium becomes idle."""
+        return self._medium_free_at
+
+    def send(self, station_id: int, frame: bytes) -> float:
+        """Transmit ``frame`` from ``station_id``; returns departure time."""
+        if not 0 <= station_id < len(self._stations):
+            raise ValueError(f"unknown station id {station_id}")
+        start = max(self._sim.now, self._medium_free_at)
+        departure = start + self.serialization_time(len(frame))
+        self._medium_free_at = departure
+        self.frames_sent += 1
+        self.bytes_sent += len(frame)
+
+        dropped = self._rng.random() < self._conditions.loss_probability
+        if dropped:
+            self.frames_dropped += 1
+        copies = 1
+        if self._rng.random() < self._conditions.duplication_probability:
+            copies = 2
+        arrival = departure + self._delay
+        for i, receiver in enumerate(self._stations):
+            if i == station_id:
+                continue
+            if dropped:
+                continue
+            for copy in range(copies):
+                self._sim.schedule_at(
+                    arrival + copy * 1e-6, lambda f=frame, r=receiver: r(f)
+                )
+        for tap in self._taps:
+            self._sim.schedule_at(arrival, lambda f=frame, t=tap: t(f))
+        return departure

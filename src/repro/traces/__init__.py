@@ -1,0 +1,45 @@
+"""Packet traces, synthetic workloads, and flow analysis.
+
+Section 7.3 of the paper: "we use the Pentium 133s as network sniffers
+(using tcpdump) on our workgroup wide LAN ... Separately, we also
+collected packet-level traces for a lightly hit (about 10,000 hits per
+day) WWW server.  The collected traces are fed into a number of flow
+simulation programs to generate the final flow characteristics."
+
+The original traces are unavailable (proprietary, 1997); per the
+reproduction's substitution rule this package supplies:
+
+* :mod:`repro.traces.records` -- the packet-record and trace containers.
+* :mod:`repro.traces.tcpdump` -- a tcpdump-like text codec, so traces
+  round-trip through the same kind of artifact the authors captured.
+* :mod:`repro.traces.workloads` -- a synthetic campus-LAN generator
+  reproducing the *shape* the figures depend on: many short
+  conversations (TELNET keystrokes, DNS, WWW hits), a few long-lived
+  bulk flows (NFS, FTP data) carrying most bytes, quiet periods inside
+  interactive sessions, and ephemeral-port reuse.
+* :mod:`repro.traces.flowsim` -- the "flow simulation programs": replay
+  a trace through the Section 7.1 security flow policy, exactly
+  (per-5-tuple) or through a real hash-indexed flow state table and key
+  caches.
+* :mod:`repro.traces.analysis` -- flow-characteristic statistics: size,
+  duration, active-count time series, THRESHOLD sweeps, repeated flows.
+"""
+
+from repro.traces.records import PacketRecord, Trace
+from repro.traces.workloads import CampusLanWorkload, WwwServerWorkload, WorkloadMix
+from repro.traces.flowsim import ExactFlowSimulator, FlowRecord, TableFlowSimulator, CacheSimulator
+from repro.traces.analysis import FlowAnalysis, ActiveFlowSeries
+
+__all__ = [
+    "PacketRecord",
+    "Trace",
+    "CampusLanWorkload",
+    "WwwServerWorkload",
+    "WorkloadMix",
+    "ExactFlowSimulator",
+    "TableFlowSimulator",
+    "CacheSimulator",
+    "FlowRecord",
+    "FlowAnalysis",
+    "ActiveFlowSeries",
+]

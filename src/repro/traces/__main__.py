@@ -1,0 +1,7 @@
+"""``python -m repro.traces`` entry point."""
+
+import sys
+
+from repro.traces.cli import main
+
+sys.exit(main())

@@ -1,0 +1,164 @@
+"""Flow-characteristic analysis: the statistics behind Figures 9-14.
+
+Inputs are flow logs from :class:`~repro.traces.flowsim.ExactFlowSimulator`
+(or any list of :class:`~repro.traces.flowsim.FlowRecord`); outputs are
+distributions and time series in plain Python structures that the bench
+harness renders as tables.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.traces.flowsim import ExactFlowSimulator, FlowRecord
+from repro.traces.records import Trace
+
+__all__ = ["FlowAnalysis", "ActiveFlowSeries", "cdf", "percentile"]
+
+
+def cdf(values: Sequence[float], points: Sequence[float]) -> List[Tuple[float, float]]:
+    """Empirical CDF of ``values`` evaluated at ``points``."""
+    data = sorted(values)
+    n = len(data)
+    out = []
+    for point in points:
+        if n == 0:
+            out.append((point, 0.0))
+            continue
+        count = bisect.bisect_right(data, point)
+        out.append((point, count / n))
+    return out
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Simple nearest-rank percentile (fraction in [0, 1])."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    data = sorted(values)
+    index = min(len(data) - 1, max(0, int(fraction * len(data))))
+    return data[index]
+
+
+@dataclass
+class ActiveFlowSeries:
+    """Active-flow counts sampled over time (Figures 12/13)."""
+
+    threshold: float
+    times: List[float]
+    counts: List[int]
+
+    @property
+    def peak(self) -> int:
+        return max(self.counts) if self.counts else 0
+
+    @property
+    def mean(self) -> float:
+        return sum(self.counts) / len(self.counts) if self.counts else 0.0
+
+
+class FlowAnalysis:
+    """All flow statistics for one trace under one THRESHOLD."""
+
+    def __init__(self, flows: List[FlowRecord], threshold: float) -> None:
+        self.flows = flows
+        self.threshold = threshold
+
+    @classmethod
+    def from_trace(cls, trace: Trace, threshold: float = 600.0) -> "FlowAnalysis":
+        """Run the exact flow simulator and wrap its log."""
+        flows = ExactFlowSimulator(threshold=threshold).run(trace)
+        return cls(flows, threshold)
+
+    # -- Figure 9: flow size --------------------------------------------------------
+
+    def size_packets_cdf(self, points: Sequence[float]) -> List[Tuple[float, float]]:
+        """CDF of flow sizes in packets (Figure 9a)."""
+        return cdf([f.packets for f in self.flows], points)
+
+    def size_bytes_cdf(self, points: Sequence[float]) -> List[Tuple[float, float]]:
+        """CDF of flow sizes in bytes (Figure 9b)."""
+        return cdf([f.octets for f in self.flows], points)
+
+    def bytes_carried_by_top_flows(self, fraction: float) -> float:
+        """Fraction of total bytes carried by the top ``fraction`` of
+        flows by size -- quantifies "a few long-lived flows carry the
+        bulk of the traffic"."""
+        if not self.flows:
+            return 0.0
+        sizes = sorted((f.octets for f in self.flows), reverse=True)
+        top = max(1, int(len(sizes) * fraction))
+        total = sum(sizes)
+        return sum(sizes[:top]) / total if total else 0.0
+
+    # -- Figure 10: flow duration ------------------------------------------------------
+
+    def duration_cdf(self, points: Sequence[float]) -> List[Tuple[float, float]]:
+        """CDF of flow durations in seconds (Figure 10)."""
+        return cdf([f.duration for f in self.flows], points)
+
+    # -- Figures 12/13: active flows ----------------------------------------------------
+
+    def active_flow_series(self, sample_interval: float = 60.0) -> ActiveFlowSeries:
+        """Active flows over time.
+
+        A flow is active at time t if it has started by t and its last
+        datagram arrived within THRESHOLD before t (it would still
+        occupy FST/cache state).
+        """
+        if not self.flows:
+            return ActiveFlowSeries(self.threshold, [], [])
+        end_time = max(f.end for f in self.flows)
+        starts = sorted(f.start for f in self.flows)
+        # A flow stops being active THRESHOLD after its last datagram.
+        expiries = sorted(f.end + self.threshold for f in self.flows)
+        times: List[float] = []
+        counts: List[int] = []
+        t = 0.0
+        while t <= end_time:
+            started = bisect.bisect_right(starts, t)
+            expired = bisect.bisect_right(expiries, t)
+            times.append(t)
+            counts.append(started - expired)
+            t += sample_interval
+        return ActiveFlowSeries(self.threshold, times, counts)
+
+    # -- Figure 14: repeated flows ---------------------------------------------------------
+
+    @property
+    def repeated_flows(self) -> int:
+        """Flows whose 5-tuple was already used by an earlier flow."""
+        return sum(1 for f in self.flows if f.incarnation > 0)
+
+    @property
+    def total_flows(self) -> int:
+        return len(self.flows)
+
+    @property
+    def unique_conversations(self) -> int:
+        """Distinct 5-tuples observed."""
+        return len({f.five_tuple for f in self.flows})
+
+    # -- summary ------------------------------------------------------------------------------
+
+    def summary(self) -> Dict[str, float]:
+        """Headline statistics for reports."""
+        if not self.flows:
+            return {"flows": 0}
+        packet_counts = [f.packets for f in self.flows]
+        byte_counts = [f.octets for f in self.flows]
+        durations = [f.duration for f in self.flows]
+        return {
+            "flows": len(self.flows),
+            "repeated_flows": self.repeated_flows,
+            "unique_conversations": self.unique_conversations,
+            "median_packets": percentile(packet_counts, 0.5),
+            "p90_packets": percentile(packet_counts, 0.9),
+            "median_bytes": percentile(byte_counts, 0.5),
+            "median_duration": percentile(durations, 0.5),
+            "p90_duration": percentile(durations, 0.9),
+            "bytes_top_10pct_flows": self.bytes_carried_by_top_flows(0.10),
+        }

@@ -1,0 +1,194 @@
+"""Command-line interface to the trace substrate.
+
+Exposes the Section 7.3 measurement workflow as a tool::
+
+    python -m repro.traces generate --kind lan --duration 3600 -o lan.trace
+    python -m repro.traces analyze lan.trace --threshold 600
+    python -m repro.traces sweep lan.trace --thresholds 300,600,900,1200
+    python -m repro.traces cachesim lan.trace --host 10.1.0.250 --sizes 2,8,32
+
+Traces use the tcpdump-like text format of :mod:`repro.traces.tcpdump`,
+so users can also feed in their own converted captures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, TextIO
+
+from repro.bench.reporting import render_cdf, render_table
+from repro.netsim.addresses import IPAddress
+from repro.traces import tcpdump
+from repro.traces.analysis import FlowAnalysis
+from repro.traces.flowsim import CacheSimulator
+from repro.traces.records import Trace
+from repro.traces.workloads import CampusLanWorkload, WwwServerWorkload
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.traces",
+        description="Generate and analyze packet traces (FBS reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic trace")
+    gen.add_argument("--kind", choices=("lan", "www"), default="lan")
+    gen.add_argument("--duration", type=float, default=3600.0, help="seconds")
+    gen.add_argument("--clients", type=int, default=16)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("-o", "--output", default="-", help="file or - for stdout")
+
+    ana = sub.add_parser("analyze", help="flow characteristics of a trace")
+    ana.add_argument("trace", help="trace file or - for stdin")
+    ana.add_argument("--threshold", type=float, default=600.0)
+
+    sweep = sub.add_parser("sweep", help="THRESHOLD sweep (Figures 13/14)")
+    sweep.add_argument("trace")
+    sweep.add_argument("--thresholds", default="300,600,900,1200")
+
+    cache = sub.add_parser("cachesim", help="key cache replay (Figure 11)")
+    cache.add_argument("trace")
+    cache.add_argument("--host", required=True, help="viewpoint address")
+    cache.add_argument("--sizes", default="2,8,32,128")
+    cache.add_argument("--threshold", type=float, default=600.0)
+    cache.add_argument(
+        "--side", choices=("send", "receive"), default="send",
+        help="TFKC (send) or RFKC (receive) viewpoint",
+    )
+    return parser
+
+
+def _load_trace(path: str, stdin: TextIO) -> Trace:
+    if path == "-":
+        return tcpdump.load(stdin)
+    with open(path) as handle:
+        return tcpdump.load(handle)
+
+
+def _cmd_generate(args, out: TextIO) -> int:
+    if args.kind == "lan":
+        workload = CampusLanWorkload(
+            duration=args.duration, clients=args.clients, seed=args.seed
+        )
+    else:
+        workload = WwwServerWorkload(duration=args.duration, seed=args.seed)
+    trace = workload.generate()
+    if args.output == "-":
+        tcpdump.dump(trace, out)
+    else:
+        with open(args.output, "w") as handle:
+            tcpdump.dump(trace, handle)
+        print(
+            f"wrote {len(trace)} records "
+            f"({trace.total_bytes / 1e6:.1f} MB of traffic) to {args.output}",
+            file=out,
+        )
+    return 0
+
+
+def _cmd_analyze(args, out: TextIO, stdin: TextIO) -> int:
+    trace = _load_trace(args.trace, stdin)
+    analysis = FlowAnalysis.from_trace(trace, threshold=args.threshold)
+    summary = analysis.summary()
+    print(
+        render_table(
+            ["metric", "value"], [(k, f"{v:.6g}") for k, v in summary.items()]
+        ),
+        file=out,
+    )
+    print("", file=out)
+    print(
+        render_cdf(
+            "flow size CDF (packets)",
+            analysis.size_packets_cdf([1, 2, 5, 10, 100, 1000, 100000]),
+            "pkts",
+        ),
+        file=out,
+    )
+    print("", file=out)
+    print(
+        render_cdf(
+            "flow duration CDF (seconds)",
+            analysis.duration_cdf([1.0, 10.0, 60.0, 600.0, 3600.0]),
+            "s",
+        ),
+        file=out,
+    )
+    return 0
+
+
+def _cmd_sweep(args, out: TextIO, stdin: TextIO) -> int:
+    trace = _load_trace(args.trace, stdin)
+    thresholds = [float(t) for t in args.thresholds.split(",")]
+    rows = []
+    for threshold in thresholds:
+        analysis = FlowAnalysis.from_trace(trace, threshold=threshold)
+        series = analysis.active_flow_series()
+        rows.append(
+            (
+                int(threshold),
+                analysis.total_flows,
+                analysis.repeated_flows,
+                f"{series.mean:.1f}",
+                series.peak,
+            )
+        )
+    print(
+        render_table(
+            ["THRESHOLD (s)", "flows", "repeated", "mean active", "peak active"],
+            rows,
+        ),
+        file=out,
+    )
+    return 0
+
+
+def _cmd_cachesim(args, out: TextIO, stdin: TextIO) -> int:
+    trace = _load_trace(args.trace, stdin)
+    viewpoint = IPAddress(args.host)
+    sizes = [int(s) for s in args.sizes.split(",")]
+    rows = []
+    for size in sizes:
+        simulator = CacheSimulator(size, threshold=args.threshold)
+        if args.side == "send":
+            stats = simulator.send_side(trace, viewpoint)
+        else:
+            stats = simulator.receive_side(trace, viewpoint)
+        rows.append(
+            (
+                size,
+                f"{stats.miss_rate * 100:.3f}%",
+                stats.cold_misses,
+                stats.capacity_misses,
+                stats.collision_misses,
+            )
+        )
+    cache_name = "TFKC" if args.side == "send" else "RFKC"
+    print(f"{cache_name} from {viewpoint}:", file=out)
+    print(
+        render_table(["size", "miss rate", "cold", "capacity", "collision"], rows),
+        file=out,
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out: TextIO = sys.stdout, stdin: TextIO = sys.stdin) -> int:
+    """Entry point (also callable from tests with explicit streams)."""
+    args = build_parser().parse_args(argv)
+    if args.command == "generate":
+        return _cmd_generate(args, out)
+    if args.command == "analyze":
+        return _cmd_analyze(args, out, stdin)
+    if args.command == "sweep":
+        return _cmd_sweep(args, out, stdin)
+    if args.command == "cachesim":
+        return _cmd_cachesim(args, out, stdin)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

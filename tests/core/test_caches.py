@@ -1,0 +1,192 @@
+"""Key cache tests: organizations, miss classification, named caches."""
+
+import pytest
+
+from repro.core.caches import (
+    AssociativeCache,
+    DirectMappedCache,
+    FlowKeyCache,
+    MasterKeyCache,
+    MissKind,
+    PublicValueCache,
+)
+from repro.crypto.crc import ModuloHash
+
+
+class TestDirectMapped:
+    def test_put_get(self):
+        cache = DirectMappedCache(8)
+        cache.put(b"k1", "v1")
+        assert cache.get(b"k1") == "v1"
+
+    def test_miss_returns_none(self):
+        cache = DirectMappedCache(8)
+        assert cache.get(b"absent") is None
+
+    def test_collision_evicts(self):
+        cache = DirectMappedCache(1)
+        cache.put(b"a", 1)
+        cache.put(b"b", 2)
+        assert cache.get(b"a") is None
+        assert cache.get(b"b") == 2
+
+    def test_invalidate(self):
+        cache = DirectMappedCache(8)
+        cache.put(b"k", 1)
+        cache.invalidate(b"k")
+        assert cache.get(b"k") is None
+
+    def test_flush(self):
+        cache = DirectMappedCache(8)
+        cache.put(b"k", 1)
+        cache.flush()
+        assert len(cache) == 0
+
+    def test_len(self):
+        cache = DirectMappedCache(16)
+        for i in range(5):
+            cache.put(i.to_bytes(4, "big"), i)
+        assert 1 <= len(cache) <= 5
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            DirectMappedCache(0)
+
+
+class TestMissClassification:
+    def test_cold_miss(self):
+        cache = DirectMappedCache(4)
+        cache.get(b"new")
+        assert cache.stats.cold_misses == 1
+
+    def test_hit_counted(self):
+        cache = DirectMappedCache(4)
+        cache.put(b"k", 1)
+        cache.get(b"k")
+        assert cache.stats.hits == 1
+
+    def test_collision_miss_identified(self):
+        # Two keys, same slot, cache big enough in the ideal model:
+        # re-reading the evicted key is a collision miss.
+        cache = DirectMappedCache(4, index_hash=ModuloHash())
+        a = (0).to_bytes(4, "big")
+        b = (4).to_bytes(4, "big")  # same slot under modulo 4
+        cache.get(a); cache.put(a, 1)
+        cache.get(b); cache.put(b, 2)
+        cache.get(a)  # would hit in a 4-entry LRU: collision miss
+        assert cache.stats.collision_misses == 1
+
+    def test_capacity_miss_identified(self):
+        cache = DirectMappedCache(2, index_hash=ModuloHash())
+        keys = [(i).to_bytes(4, "big") for i in range(4)]
+        for key in keys:
+            cache.get(key)
+            cache.put(key, key)
+        # Re-reading key 0: gone from the 2-entry ideal LRU too.
+        cache.get(keys[0])
+        assert cache.stats.capacity_misses >= 1
+
+    def test_miss_rate(self):
+        cache = DirectMappedCache(4)
+        cache.get(b"x")  # miss
+        cache.put(b"x", 1)
+        cache.get(b"x")  # hit
+        assert cache.stats.miss_rate == pytest.approx(0.5)
+
+    def test_miss_rate_empty(self):
+        assert DirectMappedCache(4).stats.miss_rate == 0.0
+
+
+class TestAssociative:
+    def test_lru_eviction(self):
+        cache = AssociativeCache(2)
+        cache.put(b"a", 1)
+        cache.put(b"b", 2)
+        cache.get(b"a")  # a is now MRU
+        cache.put(b"c", 3)  # evicts b
+        assert cache.get(b"b") is None
+        assert cache.get(b"a") == 1
+        assert cache.get(b"c") == 3
+
+    def test_update_existing(self):
+        cache = AssociativeCache(2)
+        cache.put(b"a", 1)
+        cache.put(b"a", 2)
+        assert cache.get(b"a") == 2
+        assert len(cache) == 1
+
+    def test_set_associative(self):
+        cache = AssociativeCache(8, ways=2)
+        assert cache.sets == 4
+        for i in range(16):
+            cache.put(i.to_bytes(4, "big"), i)
+        assert len(cache) <= 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AssociativeCache(4, ways=8)
+        with pytest.raises(ValueError):
+            AssociativeCache(6, ways=4)  # not a multiple
+
+
+class TestFlowKeyCache:
+    def test_install_lookup(self):
+        cache = FlowKeyCache(8)
+        cache.install(7, b"dest", b"src", b"\x01" * 16)
+        assert cache.lookup(7, b"dest", b"src") == b"\x01" * 16
+
+    def test_keyed_by_all_three(self):
+        # (sfl, D, S) -- S included for multi-homed principals.
+        cache = FlowKeyCache(64)
+        cache.install(7, b"dest", b"srcA", b"\x01" * 16)
+        assert cache.lookup(7, b"dest", b"srcB") is None
+        assert cache.lookup(8, b"dest", b"srcA") is None
+        assert cache.lookup(7, b"dst2", b"srcA") is None
+
+    def test_flush_is_safe_soft_state(self):
+        cache = FlowKeyCache(8)
+        cache.install(1, b"d", b"s", b"k" * 16)
+        cache.flush()
+        assert cache.lookup(1, b"d", b"s") is None  # just a miss, no error
+
+
+class TestMasterKeyCache:
+    def test_roundtrip(self):
+        cache = MasterKeyCache(4)
+        cache.install(b"bob", b"\x09" * 16)
+        assert cache.lookup(b"bob") == b"\x09" * 16
+
+    def test_invalidate_on_rekey(self):
+        cache = MasterKeyCache(4)
+        cache.install(b"bob", b"\x09" * 16)
+        cache.invalidate(b"bob")
+        assert cache.lookup(b"bob") is None
+
+    def test_lru_bounded(self):
+        cache = MasterKeyCache(2)
+        for name in (b"a", b"b", b"c"):
+            cache.install(name, name * 8)
+        assert len(cache) == 2
+
+
+class TestPublicValueCache:
+    def test_roundtrip(self):
+        cache = PublicValueCache(4)
+        cache.install(b"bob", "cert-object")
+        assert cache.lookup(b"bob") == "cert-object"
+
+    def test_pinning_survives_flush(self):
+        # "An alternative is to pin certain certificates in the cache
+        # upon initialization."
+        cache = PublicValueCache(4)
+        cache.pin(b"ca", "pinned-cert")
+        cache.install(b"bob", "cert")
+        cache.flush()
+        assert cache.lookup(b"ca") == "pinned-cert"
+        assert cache.lookup(b"bob") is None
+
+    def test_pinned_beats_cached(self):
+        cache = PublicValueCache(4)
+        cache.install(b"x", "cached")
+        cache.pin(b"x", "pinned")
+        assert cache.lookup(b"x") == "pinned"

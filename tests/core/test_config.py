@@ -1,0 +1,68 @@
+"""Configuration validation tests."""
+
+import pytest
+
+from repro.core.config import AlgorithmSuite, FBSConfig, HashAlgorithm, MacAlgorithm
+
+
+class TestAlgorithmSuite:
+    def test_defaults_match_paper(self):
+        suite = AlgorithmSuite()
+        assert suite.flow_key_hash is HashAlgorithm.MD5
+        assert suite.mac is MacAlgorithm.KEYED_MD5
+        assert suite.mac_bits == 128
+        assert suite.mac_bytes == 16
+
+    def test_mac_bits_must_be_byte_aligned(self):
+        with pytest.raises(ValueError):
+            AlgorithmSuite(mac_bits=100)
+
+    def test_mac_bits_cannot_exceed_digest(self):
+        with pytest.raises(ValueError):
+            AlgorithmSuite(mac=MacAlgorithm.KEYED_MD5, mac_bits=160)
+
+    def test_mac_bits_floor(self):
+        with pytest.raises(ValueError):
+            AlgorithmSuite(mac_bits=16)
+
+    def test_null_mac_returns_immediately(self):
+        assert MacAlgorithm.NULL.func(b"key", b"data") == b"\x00" * 16
+
+    def test_hash_algorithm_functions(self):
+        assert len(HashAlgorithm.MD5.func(b"x")) == 16
+        assert len(HashAlgorithm.SHS.func(b"x")) == 20
+        assert HashAlgorithm.MD5.digest_size == 16
+        assert HashAlgorithm.SHS.digest_size == 20
+
+    def test_mac_functions_dispatch(self):
+        for algorithm in MacAlgorithm:
+            out = algorithm.func(b"key-material-16b", b"data")
+            assert len(out) == algorithm.digest_size
+
+
+class TestFBSConfig:
+    def test_defaults_match_paper(self):
+        config = FBSConfig()
+        assert config.threshold == 600.0
+        assert config.fst_size == 64
+        assert config.freshness_half_window == 120.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FBSConfig(threshold=0)
+        with pytest.raises(ValueError):
+            FBSConfig(fst_size=0)
+        with pytest.raises(ValueError):
+            FBSConfig(tfkc_size=0)
+        with pytest.raises(ValueError):
+            FBSConfig(freshness_half_window=-1)
+
+    def test_with_override(self):
+        config = FBSConfig().with_(threshold=300.0)
+        assert config.threshold == 300.0
+        assert config.fst_size == 64
+
+    def test_frozen(self):
+        config = FBSConfig()
+        with pytest.raises(Exception):
+            config.threshold = 1.0

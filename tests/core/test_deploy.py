@@ -1,0 +1,78 @@
+"""Deployment helper tests: domains, enrollment, certificate server."""
+
+import pytest
+
+from repro.core.deploy import CertificateServer, FBSDomain
+from repro.core.keying import Principal
+from repro.netsim import Network
+from repro.netsim.sockets import UdpSocket
+
+
+class TestDomain:
+    def test_enrolled_principals_interoperate(self):
+        domain = FBSDomain(seed=1)
+        alice = domain.make_endpoint(Principal.from_name("alice"))
+        bob = domain.make_endpoint(Principal.from_name("bob"))
+        wire = alice.protect(b"hi", bob.principal, secret=True)
+        assert bob.unprotect(wire, alice.principal, secret=True) == b"hi"
+
+    def test_cross_domain_rejected(self):
+        domain1 = FBSDomain(seed=1)
+        domain2 = FBSDomain(seed=2)
+        alice = domain1.make_endpoint(Principal.from_name("alice"))
+        # bob enrolled in a different domain (different CA): alice's
+        # directory doesn't know him.
+        bob = domain2.make_endpoint(Principal.from_name("bob"))
+        with pytest.raises(Exception):
+            alice.protect(b"hi", bob.principal)
+
+    def test_private_keys_recorded(self):
+        domain = FBSDomain(seed=3)
+        domain.make_endpoint(Principal.from_name("alice"))
+        assert "alice" in domain.private_keys
+
+    def test_enroll_host_installs_mapping(self):
+        net = Network(seed=4)
+        net.add_segment("lan", "10.0.0.0")
+        host = net.add_host("h", segment="lan")
+        domain = FBSDomain(seed=4)
+        mapping = domain.enroll_host(host)
+        assert host.security is mapping
+        assert host.stack.output_hook is not None
+
+
+class TestCertificateServer:
+    def test_serves_certificates_over_udp(self):
+        net = Network(seed=5)
+        net.add_segment("lan", "10.0.0.0")
+        server_host = net.add_host("certs", segment="lan")
+        client_host = net.add_host("client", segment="lan")
+        domain = FBSDomain(seed=5)
+        # Publish a certificate for some principal.
+        endpoint = domain.make_endpoint(Principal.from_name("alice"))
+        server = CertificateServer(server_host, domain.directory)
+
+        responses = []
+        sock = UdpSocket(client_host)
+        sock.on_receive = lambda payload, src, sport: responses.append(payload)
+        sock.sendto(endpoint.principal.wire_id, server_host.address, 500)
+        net.sim.run()
+        assert server.requests_served == 1
+        from repro.core.certificates import PublicValueCertificate
+
+        cert = PublicValueCertificate.decode(responses[0])
+        assert cert.subject.wire_id == endpoint.principal.wire_id
+        cert.verify(domain.ca.public_key, now=0.0)
+
+    def test_unknown_principal_silent(self):
+        net = Network(seed=6)
+        net.add_segment("lan", "10.0.0.0")
+        server_host = net.add_host("certs", segment="lan")
+        client_host = net.add_host("client", segment="lan")
+        domain = FBSDomain(seed=6)
+        server = CertificateServer(server_host, domain.directory)
+        sock = UdpSocket(client_host)
+        sock.sendto(b"\x00\x05ghost", server_host.address, 500)
+        net.sim.run()
+        assert server.requests_served == 0
+        assert sock.received == []

@@ -1,0 +1,149 @@
+"""Master key daemon tests: upcalls, caching, verification, rekeying."""
+
+import random
+
+import pytest
+
+from repro.core.certificates import (
+    CertificateAuthority,
+    CertificateDirectory,
+    CertificateError,
+)
+from repro.core.keying import Principal
+from repro.core.mkd import MasterKeyDaemon
+from repro.crypto.dh import DHPrivateKey, WELL_KNOWN_GROUPS
+
+GROUP = WELL_KNOWN_GROUPS["TEST128"]
+
+
+def make_world(seed=0):
+    rng = random.Random(seed)
+    ca = CertificateAuthority(rng, key_bits=512)
+    directory = CertificateDirectory()
+    daemons = {}
+    keys = {}
+    for name in ("alice", "bob", "carol"):
+        principal = Principal.from_name(name)
+        key = DHPrivateKey.generate(GROUP, rng)
+        keys[name] = key
+        directory.publish(ca.issue(principal, key))
+        daemons[name] = MasterKeyDaemon(
+            principal=principal,
+            private_key=key,
+            ca_public=ca.public_key,
+            fetch=directory.fetch,
+            now=lambda: 100.0,
+        )
+    return ca, directory, daemons, keys
+
+
+class TestMasterKeys:
+    def test_pair_symmetry(self):
+        _, _, daemons, _ = make_world()
+        k_ab = daemons["alice"].master_key(Principal.from_name("bob"))
+        k_ba = daemons["bob"].master_key(Principal.from_name("alice"))
+        assert k_ab == k_ba
+
+    def test_pairs_are_distinct(self):
+        _, _, daemons, _ = make_world()
+        alice = daemons["alice"]
+        assert alice.master_key(Principal.from_name("bob")) != alice.master_key(
+            Principal.from_name("carol")
+        )
+
+    def test_caching_avoids_recomputation(self):
+        _, directory, daemons, _ = make_world()
+        alice = daemons["alice"]
+        bob = Principal.from_name("bob")
+        alice.master_key(bob)
+        alice.master_key(bob)
+        assert alice.master_keys_computed == 1
+        assert alice.certificate_fetches == 1
+        assert directory.fetches == 1
+
+    def test_upcall_counts(self):
+        _, _, daemons, _ = make_world()
+        alice = daemons["alice"]
+        alice.upcall_master_key(Principal.from_name("bob"))
+        alice.upcall_master_key(Principal.from_name("bob"))
+        assert alice.upcalls == 2
+        assert alice.master_keys_computed == 1
+
+
+class TestVerification:
+    def test_wrong_subject_from_directory_rejected(self):
+        ca, directory, daemons, keys = make_world()
+        alice = daemons["alice"]
+        evil = Principal.from_name("bob")
+        # Sabotage the directory: return carol's cert for bob.
+        carol_cert = directory.fetch(Principal.from_name("carol").wire_id)
+        directory._certs[evil.wire_id] = carol_cert
+        with pytest.raises(CertificateError):
+            alice.master_key(evil)
+        assert alice.verification_failures == 1
+
+    def test_expired_certificate_rejected(self):
+        rng = random.Random(3)
+        ca = CertificateAuthority(rng, key_bits=512)
+        directory = CertificateDirectory()
+        bob_p = Principal.from_name("bob")
+        bob_key = DHPrivateKey.generate(GROUP, rng)
+        directory.publish(ca.issue(bob_p, bob_key, not_after=50.0))
+        alice = MasterKeyDaemon(
+            principal=Principal.from_name("alice"),
+            private_key=DHPrivateKey.generate(GROUP, rng),
+            ca_public=ca.public_key,
+            fetch=directory.fetch,
+            now=lambda: 100.0,  # past bob's expiry
+        )
+        with pytest.raises(CertificateError):
+            alice.master_key(bob_p)
+
+
+class TestCostAccounting:
+    def test_costs_charged_on_misses_only(self):
+        rng = random.Random(4)
+        ca = CertificateAuthority(rng, key_bits=512)
+        directory = CertificateDirectory()
+        bob_p = Principal.from_name("bob")
+        directory.publish(ca.issue(bob_p, DHPrivateKey.generate(GROUP, rng)))
+        charged = []
+        alice = MasterKeyDaemon(
+            principal=Principal.from_name("alice"),
+            private_key=DHPrivateKey.generate(GROUP, rng),
+            ca_public=ca.public_key,
+            fetch=directory.fetch,
+            charge=charged.append,
+            modexp_cost=0.06,
+            fetch_cost=0.02,
+            upcall_cost=0.0005,
+        )
+        alice.upcall_master_key(bob_p)
+        assert 0.06 in charged and 0.02 in charged and 0.0005 in charged
+        charged.clear()
+        alice.upcall_master_key(bob_p)
+        # Warm path: only the upcall crossing.
+        assert charged == [0.0005]
+
+
+class TestRekeying:
+    def test_private_value_change_flushes_mkc(self):
+        _, _, daemons, keys = make_world()
+        alice = daemons["alice"]
+        bob = Principal.from_name("bob")
+        old = alice.master_key(bob)
+        new_key = DHPrivateKey.generate(GROUP, random.Random(77))
+        alice.change_private_value(new_key)
+        new = alice.master_key(bob)
+        assert new != old
+        assert alice.master_keys_computed == 2
+
+    def test_pinned_certificate_skips_fetch(self):
+        _, directory, daemons, _ = make_world()
+        alice = daemons["alice"]
+        bob_cert = directory.fetch(Principal.from_name("bob").wire_id)
+        directory.fetches = 0
+        alice.pin_certificate(bob_cert)
+        alice.master_key(Principal.from_name("bob"))
+        assert directory.fetches == 0
+        assert alice.certificate_fetches == 0

@@ -1,0 +1,107 @@
+"""NetworkCertificateFetcher unit tests (wire behaviour is covered by
+tests/integration/test_network_keying.py)."""
+
+import pytest
+
+from repro.core.deploy import CertificateServer, FBSDomain
+from repro.core.errors import UnknownPrincipalError
+from repro.core.keying import Principal
+from repro.core.netfetch import NetworkCertificateFetcher
+from repro.netsim import Network
+
+
+@pytest.fixture
+def world():
+    net = Network(seed=61)
+    net.add_segment("lan", "10.0.0.0")
+    certs = net.add_host("certs", segment="lan")
+    client = net.add_host("client", segment="lan")
+    domain = FBSDomain(seed=62)
+    server = CertificateServer(certs, domain.directory)
+    fetcher = NetworkCertificateFetcher(
+        host=client, server_address=certs.address, ca_public=domain.ca.public_key
+    )
+    return net, domain, server, fetcher
+
+
+class TestFetchLifecycle:
+    def test_miss_raises_and_requests(self, world):
+        net, domain, server, fetcher = world
+        principal = Principal.from_name("someone")
+        domain.make_endpoint(principal)
+        with pytest.raises(UnknownPrincipalError):
+            fetcher.fetch(principal.wire_id)
+        assert fetcher.requests_sent == 1
+        net.sim.run()
+        # Response arrived and verified: the next fetch succeeds.
+        certificate = fetcher.fetch(principal.wire_id)
+        assert certificate.subject.wire_id == principal.wire_id
+        assert fetcher.responses_accepted == 1
+
+    def test_repeat_misses_rate_limited(self, world):
+        net, domain, server, fetcher = world
+        principal = Principal.from_name("popular")
+        domain.make_endpoint(principal)
+        for _ in range(5):
+            with pytest.raises(UnknownPrincipalError):
+                fetcher.fetch(principal.wire_id)
+        assert fetcher.requests_sent == 1  # within the retry interval
+
+    def test_retry_after_interval(self, world):
+        net, domain, server, fetcher = world
+        fetcher._retry_interval = 0.5
+        ghost_id = b"\x00\x05ghost"  # never published: responses never come
+        with pytest.raises(UnknownPrincipalError):
+            fetcher.fetch(ghost_id)
+        net.sim.run(until=net.sim.now + 1.0)
+        with pytest.raises(UnknownPrincipalError):
+            fetcher.fetch(ghost_id)
+        assert fetcher.requests_sent == 2
+
+    def test_prefetch_idempotent(self, world):
+        net, domain, server, fetcher = world
+        principal = Principal.from_name("warm")
+        domain.make_endpoint(principal)
+        fetcher.prefetch(principal.wire_id)
+        net.sim.run()
+        assert fetcher.has(principal.wire_id)
+        fetcher.prefetch(principal.wire_id)  # no new request
+        assert fetcher.requests_sent == 1
+
+    def test_on_certificate_callback(self, world):
+        net, domain, server, fetcher = world
+        arrivals = []
+        fetcher.on_certificate = lambda cert: arrivals.append(cert.subject.name)
+        principal = Principal.from_name("observed")
+        domain.make_endpoint(principal)
+        fetcher.prefetch(principal.wire_id)
+        net.sim.run()
+        assert arrivals == ["observed"]
+
+
+class TestResponseValidation:
+    def test_garbage_response_rejected(self, world):
+        net, domain, server, fetcher = world
+        fetcher._on_response(b"not a certificate", None, 500)
+        assert fetcher.responses_rejected == 1
+
+    def test_wrong_source_port_rejected(self, world):
+        net, domain, server, fetcher = world
+        principal = Principal.from_name("spoofed")
+        endpoint = domain.make_endpoint(principal)
+        real_cert = domain.directory.fetch(principal.wire_id)
+        fetcher._on_response(real_cert.encode(), None, 12345)
+        assert not fetcher.has(principal.wire_id)
+        assert fetcher.responses_rejected == 1
+
+    def test_expired_certificate_rejected(self, world):
+        net, domain, server, fetcher = world
+        from repro.crypto.dh import DHPrivateKey
+
+        principal = Principal.from_name("expired")
+        key = DHPrivateKey.generate(domain.group, domain.rng)
+        stale = domain.ca.issue(principal, key, not_before=0.0, not_after=0.0)
+        net.sim.run(until=10.0)
+        fetcher._on_response(stale.encode(), None, 500)
+        assert not fetcher.has(principal.wire_id)
+        assert fetcher.responses_rejected == 1

@@ -1,0 +1,75 @@
+"""CRC-32 and cache-index hash tests."""
+
+import zlib
+
+import pytest
+
+from repro.crypto.crc import CacheIndexHash, Crc32Hash, ModuloHash, XorFoldHash, crc32
+
+
+class TestCrc32:
+    @pytest.mark.parametrize(
+        "data",
+        [b"", b"a", b"123456789", b"flow security", bytes(range(256)) * 3],
+    )
+    def test_matches_zlib(self, data):
+        assert crc32(data) == zlib.crc32(data)
+
+    def test_check_value(self):
+        # The standard CRC-32 check value.
+        assert crc32(b"123456789") == 0xCBF43926
+
+    def test_incremental(self):
+        whole = crc32(b"hello world")
+        partial = crc32(b" world", crc32(b"hello"))
+        assert whole == partial
+
+
+class TestIndexHashes:
+    @pytest.mark.parametrize("strategy", [ModuloHash(), XorFoldHash(), Crc32Hash()])
+    def test_index_in_range(self, strategy):
+        for size in (1, 2, 7, 32, 100):
+            for i in range(50):
+                key = i.to_bytes(8, "big")
+                assert 0 <= strategy.index(key, size) < size
+
+    @pytest.mark.parametrize("strategy", [ModuloHash(), XorFoldHash(), Crc32Hash()])
+    def test_deterministic(self, strategy):
+        key = b"\x01\x02\x03\x04\x05"
+        assert strategy.index(key, 64) == strategy.index(key, 64)
+
+    @pytest.mark.parametrize("strategy", [ModuloHash(), XorFoldHash(), Crc32Hash()])
+    def test_rejects_bad_size(self, strategy):
+        with pytest.raises(ValueError):
+            strategy.index(b"key", 0)
+
+    def test_modulo_correlated_inputs_collide(self):
+        # Sequential sfls spaced by the table size land in one slot under
+        # modulo -- the weakness the paper calls out.
+        size = 32
+        strategy = ModuloHash()
+        slots = {strategy.index((i * size).to_bytes(8, "big"), size) for i in range(20)}
+        assert len(slots) == 1
+
+    def test_crc32_spreads_correlated_inputs(self):
+        # The same adversarial sequence spreads under CRC-32.
+        size = 32
+        strategy = Crc32Hash()
+        slots = {strategy.index((i * size).to_bytes(8, "big"), size) for i in range(20)}
+        assert len(slots) > 10
+
+    def test_crc32_spreads_sequential_sfls(self):
+        # Sequential sfls with the cache's composite (sfl | D | S) key:
+        # CRC-32's linearity leaves some structure, but coverage is far
+        # better than modulo's single slot.
+        size = 64
+        strategy = Crc32Hash()
+        suffix = bytes([10, 0, 0, 2, 10, 0, 0, 1])
+        slots = [
+            strategy.index(i.to_bytes(8, "big") + suffix, size) for i in range(64)
+        ]
+        assert len(set(slots)) >= 24
+
+    def test_abstract_raises(self):
+        with pytest.raises(NotImplementedError):
+            CacheIndexHash().index(b"x", 4)

@@ -1,0 +1,82 @@
+"""DES block cipher tests: FIPS vectors, involution, key sensitivity."""
+
+import pytest
+
+from repro.crypto.des import BLOCK_SIZE, DES
+
+
+class TestKnownVectors:
+    def test_classic_vector(self):
+        # The canonical worked example (Stallings / FIPS test).
+        cipher = DES(bytes.fromhex("133457799BBCDFF1"))
+        ciphertext = cipher.encrypt_block(bytes.fromhex("0123456789ABCDEF"))
+        assert ciphertext == bytes.fromhex("85E813540F0AB405")
+
+    def test_weak_key_vector(self):
+        cipher = DES(bytes.fromhex("0E329232EA6D0D73"))
+        ciphertext = cipher.encrypt_block(bytes.fromhex("8787878787878787"))
+        assert ciphertext == bytes.fromhex("0000000000000000")
+
+    def test_all_zero_key_and_block(self):
+        cipher = DES(bytes(8))
+        assert cipher.encrypt_block(bytes(8)) == bytes.fromhex("8CA64DE9C1B123A7")
+
+    def test_all_ones(self):
+        cipher = DES(b"\xff" * 8)
+        assert cipher.encrypt_block(b"\xff" * 8) == bytes.fromhex("7359B2163E4EDC58")
+
+
+class TestRoundTrip:
+    def test_decrypt_inverts_encrypt(self):
+        cipher = DES(b"\x01\x23\x45\x67\x89\xab\xcd\xef")
+        block = b"datagram"
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    def test_many_blocks_roundtrip(self):
+        cipher = DES(b"8bytekey")
+        for i in range(64):
+            block = bytes([(i * 17 + j) & 0xFF for j in range(8)])
+            assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    def test_parity_bits_ignored(self):
+        # Keys differing only in parity (LSB of each byte) are equivalent.
+        key_a = bytes.fromhex("133457799BBCDFF1")
+        key_b = bytes(b & 0xFE for b in key_a)
+        block = b"\x00" * 8
+        assert DES(key_a).encrypt_block(block) == DES(key_b).encrypt_block(block)
+
+
+class TestSensitivity:
+    def test_different_keys_differ(self):
+        block = b"\x00" * 8
+        a = DES(b"\x02" + b"\x00" * 7).encrypt_block(block)
+        b = DES(b"\x04" + b"\x00" * 7).encrypt_block(block)
+        assert a != b
+
+    def test_avalanche_in_plaintext(self):
+        cipher = DES(b"\x13\x34\x57\x79\x9b\xbc\xdf\xf1")
+        a = cipher.encrypt_block(bytes(8))
+        b = cipher.encrypt_block(b"\x80" + bytes(7))
+        # A single flipped input bit should change many output bits.
+        diff = sum(bin(x ^ y).count("1") for x, y in zip(a, b))
+        assert diff > 16
+
+
+class TestValidation:
+    def test_rejects_short_key(self):
+        with pytest.raises(ValueError):
+            DES(b"short")
+
+    def test_rejects_long_key(self):
+        with pytest.raises(ValueError):
+            DES(b"ninebytes")
+
+    def test_rejects_wrong_block_size(self):
+        cipher = DES(bytes(8))
+        with pytest.raises(ValueError):
+            cipher.encrypt_block(b"tiny")
+        with pytest.raises(ValueError):
+            cipher.decrypt_block(b"way too long!")
+
+    def test_block_size_constant(self):
+        assert BLOCK_SIZE == 8

@@ -1,0 +1,87 @@
+"""Diffie-Hellman tests: agreement, group hygiene, degenerate values."""
+
+import random
+
+import pytest
+
+from repro.crypto.dh import DHGroup, DHPrivateKey, WELL_KNOWN_GROUPS
+from repro.crypto.primes import is_probable_prime
+
+
+@pytest.fixture
+def group():
+    return WELL_KNOWN_GROUPS["TEST128"]
+
+
+class TestAgreement:
+    def test_both_sides_agree(self, group):
+        rng = random.Random(1)
+        s = DHPrivateKey.generate(group, rng)
+        d = DHPrivateKey.generate(group, rng)
+        assert s.agree(d.public) == d.agree(s.public)
+
+    def test_pairwise_keys_differ(self, group):
+        rng = random.Random(2)
+        a = DHPrivateKey.generate(group, rng)
+        b = DHPrivateKey.generate(group, rng)
+        c = DHPrivateKey.generate(group, rng)
+        assert a.agree(b.public) != a.agree(c.public)
+
+    def test_shared_secret_fixed_width(self, group):
+        rng = random.Random(3)
+        a = DHPrivateKey.generate(group, rng)
+        b = DHPrivateKey.generate(group, rng)
+        assert len(a.agree(b.public)) == group.key_bytes
+
+    def test_deterministic_generation(self, group):
+        a = DHPrivateKey.generate(group, random.Random(42))
+        b = DHPrivateKey.generate(group, random.Random(42))
+        assert a.private == b.private and a.public == b.public
+
+
+class TestGroups:
+    def test_test_groups_are_safe_primes(self):
+        for name in ("TEST128", "TEST256"):
+            p = WELL_KNOWN_GROUPS[name].p
+            assert is_probable_prime(p)
+            assert is_probable_prime((p - 1) // 2)
+
+    def test_oakley_groups_present(self):
+        assert WELL_KNOWN_GROUPS["OAKLEY1"].p.bit_length() == 768
+        assert WELL_KNOWN_GROUPS["OAKLEY2"].p.bit_length() == 1024
+
+    def test_oakley_primes_probable(self):
+        # Light-touch: a few Miller-Rabin rounds over the published moduli.
+        for name in ("OAKLEY1", "OAKLEY2"):
+            assert is_probable_prime(WELL_KNOWN_GROUPS[name].p, rounds=4)
+
+    def test_public_value_computation(self, group):
+        assert group.public_value(1) == group.g
+        assert group.public_value(2) == pow(group.g, 2, group.p)
+
+
+class TestDegenerateValues:
+    @pytest.mark.parametrize("bad", [0, 1])
+    def test_rejects_small_degenerate_publics(self, group, bad):
+        rng = random.Random(4)
+        key = DHPrivateKey.generate(group, rng)
+        with pytest.raises(ValueError):
+            key.agree(bad)
+
+    def test_rejects_p_minus_one(self, group):
+        rng = random.Random(5)
+        key = DHPrivateKey.generate(group, rng)
+        with pytest.raises(ValueError):
+            key.agree(group.p - 1)
+
+    def test_rejects_out_of_range(self, group):
+        rng = random.Random(6)
+        key = DHPrivateKey.generate(group, rng)
+        with pytest.raises(ValueError):
+            key.agree(group.p + 5)
+
+    def test_rejects_bad_private_value(self, group):
+        with pytest.raises(ValueError):
+            DHPrivateKey(group=group, private=1)
+        with pytest.raises(ValueError):
+            DHPrivateKey(group=group, private=group.p)

@@ -1,0 +1,134 @@
+"""MAC construction tests: RFC 2104 vectors, keyed prefix, truncation."""
+
+import hashlib
+import hmac as stdlib_hmac
+
+import pytest
+
+from repro.crypto.mac import (
+    constant_time_equal,
+    hmac_md5,
+    hmac_sha1,
+    keyed_md5,
+    keyed_sha1,
+    truncate_mac,
+)
+from repro.crypto.md5 import md5
+from repro.crypto.sha1 import sha1
+
+
+class TestHmacMd5Rfc2104:
+    def test_vector_1(self):
+        # RFC 2104 test case 1.
+        out = hmac_md5(b"\x0b" * 16, b"Hi There")
+        assert out.hex() == "9294727a3638bb1c13f48ef8158bfc9d"
+
+    def test_vector_2(self):
+        out = hmac_md5(b"Jefe", b"what do ya want for nothing?")
+        assert out.hex() == "750c783e6ab0b503eaa86e310a5db738"
+
+    def test_vector_3(self):
+        out = hmac_md5(b"\xaa" * 16, b"\xdd" * 50)
+        assert out.hex() == "56be34521d144c88dbb8c733f0e8b3f6"
+
+
+class TestAgainstStdlib:
+    @pytest.mark.parametrize("key_len", [0, 1, 16, 63, 64, 65, 200])
+    def test_hmac_md5_matches(self, key_len):
+        key = bytes(range(key_len % 256))[:key_len]
+        msg = b"flow-based datagram security"
+        assert hmac_md5(key, msg) == stdlib_hmac.new(key, msg, "md5").digest()
+
+    @pytest.mark.parametrize("key_len", [0, 16, 64, 100])
+    def test_hmac_sha1_matches(self, key_len):
+        key = b"\x5c" * key_len
+        msg = b"zero message keying"
+        assert hmac_sha1(key, msg) == stdlib_hmac.new(key, msg, "sha1").digest()
+
+
+class TestKeyedPrefix:
+    def test_keyed_md5_definition(self):
+        assert keyed_md5(b"key", b"data") == md5(b"keydata")
+
+    def test_keyed_sha1_definition(self):
+        assert keyed_sha1(b"key", b"data") == sha1(b"keydata")
+
+    def test_key_changes_mac(self):
+        assert keyed_md5(b"k1", b"data") != keyed_md5(b"k2", b"data")
+
+    def test_data_changes_mac(self):
+        assert keyed_md5(b"k", b"d1") != keyed_md5(b"k", b"d2")
+
+
+class TestTruncation:
+    def test_truncate_keeps_prefix(self):
+        mac = bytes(range(16))
+        assert truncate_mac(mac, 64) == mac[:8]
+
+    def test_truncate_full_width_is_identity(self):
+        mac = bytes(range(16))
+        assert truncate_mac(mac, 128) == mac
+
+    def test_rejects_non_byte_aligned(self):
+        with pytest.raises(ValueError):
+            truncate_mac(bytes(16), 60)
+
+    def test_rejects_over_length(self):
+        with pytest.raises(ValueError):
+            truncate_mac(bytes(16), 256)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            truncate_mac(bytes(16), 0)
+
+
+class TestConstantTimeEqual:
+    def test_equal(self):
+        assert constant_time_equal(b"same-bytes", b"same-bytes")
+
+    def test_unequal_same_length(self):
+        assert not constant_time_equal(b"same-bytes", b"same-bytez")
+
+    def test_unequal_lengths(self):
+        assert not constant_time_equal(b"short", b"longer-value")
+
+    def test_empty(self):
+        assert constant_time_equal(b"", b"")
+
+
+class TestDesCbcMac:
+    def test_deterministic(self):
+        from repro.crypto.mac import des_cbc_mac
+
+        assert des_cbc_mac(b"k" * 8, b"message") == des_cbc_mac(b"k" * 8, b"message")
+
+    def test_tag_size(self):
+        from repro.crypto.mac import des_cbc_mac
+
+        assert len(des_cbc_mac(b"k" * 8, b"x" * 100)) == 8
+
+    def test_key_and_data_sensitivity(self):
+        from repro.crypto.mac import des_cbc_mac
+
+        base = des_cbc_mac(b"k" * 8, b"data")
+        # (keys must differ outside DES's ignored parity bits)
+        assert des_cbc_mac(b"m" * 8, b"data") != base
+        assert des_cbc_mac(b"k" * 8, b"datb") != base
+
+    def test_length_prefix_blocks_extension(self):
+        from repro.crypto.mac import des_cbc_mac
+
+        # Same bytes, different claimed split: tags differ because the
+        # length is bound into the first block.
+        assert des_cbc_mac(b"k" * 8, b"ab") != des_cbc_mac(b"k" * 8, b"ab\x06\x06\x06\x06\x06\x06")
+
+    def test_long_keys_truncated(self):
+        from repro.crypto.mac import des_cbc_mac
+
+        assert des_cbc_mac(b"k" * 16, b"m") == des_cbc_mac(b"k" * 8, b"m")
+
+    def test_short_key_rejected(self):
+        from repro.crypto.mac import des_cbc_mac
+
+        with pytest.raises(ValueError):
+            des_cbc_mac(b"short", b"m")

@@ -1,0 +1,70 @@
+"""MD5 tests: RFC 1321 suite, streaming, hashlib cross-check."""
+
+import hashlib
+
+import pytest
+
+from repro.crypto.md5 import MD5, md5
+
+# The RFC 1321 appendix test suite.
+RFC1321_VECTORS = [
+    (b"", "d41d8cd98f00b204e9800998ecf8427e"),
+    (b"a", "0cc175b9c0f1b6a831c399e269772661"),
+    (b"abc", "900150983cd24fb0d6963f7d28e17f72"),
+    (b"message digest", "f96b697d7cb7938d525a2f31aaf161d0"),
+    (b"abcdefghijklmnopqrstuvwxyz", "c3fcd3d76192e4007dfb496cca67e13b"),
+    (
+        b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+        "d174ab98d277d9f5a5611c2c9f419d9f",
+    ),
+    (
+        b"1234567890" * 8,
+        "57edf4a22be3c955ac49da2e2107b67a",
+    ),
+]
+
+
+class TestRfcVectors:
+    @pytest.mark.parametrize("message,expected", RFC1321_VECTORS)
+    def test_vector(self, message, expected):
+        assert md5(message).hex() == expected
+
+
+class TestAgainstHashlib:
+    @pytest.mark.parametrize("size", [0, 1, 55, 56, 57, 63, 64, 65, 127, 128, 1000, 10000])
+    def test_boundary_lengths(self, size):
+        data = bytes(i & 0xFF for i in range(size))
+        assert md5(data) == hashlib.md5(data).digest()
+
+
+class TestStreaming:
+    def test_incremental_equals_oneshot(self):
+        data = b"the quick brown fox jumps over the lazy dog" * 37
+        h = MD5()
+        for i in range(0, len(data), 7):
+            h.update(data[i : i + 7])
+        assert h.digest() == md5(data)
+
+    def test_digest_does_not_finalize(self):
+        h = MD5(b"partial")
+        first = h.digest()
+        assert h.digest() == first  # repeatable
+        h.update(b" more")
+        assert h.digest() == md5(b"partial more")
+
+    def test_copy_is_independent(self):
+        h = MD5(b"shared prefix ")
+        clone = h.copy()
+        h.update(b"left")
+        clone.update(b"right")
+        assert h.digest() == md5(b"shared prefix left")
+        assert clone.digest() == md5(b"shared prefix right")
+
+    def test_hexdigest(self):
+        assert MD5(b"abc").hexdigest() == "900150983cd24fb0d6963f7d28e17f72"
+
+    def test_object_protocol_attributes(self):
+        h = MD5()
+        assert h.digest_size == 16
+        assert h.block_size == 64
+        assert h.name == "md5"

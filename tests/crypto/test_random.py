@@ -1,0 +1,87 @@
+"""Random generator tests: determinism, distribution sanity, BBS structure."""
+
+import pytest
+
+from repro.crypto.random import BlumBlumShub, CounterRandom, LinearCongruential
+
+
+class TestLinearCongruential:
+    def test_deterministic(self):
+        a = LinearCongruential(42)
+        b = LinearCongruential(42)
+        assert [a.next_u32() for _ in range(10)] == [b.next_u32() for _ in range(10)]
+
+    def test_seeds_differ(self):
+        a = LinearCongruential(1)
+        b = LinearCongruential(2)
+        assert [a.next_u32() for _ in range(4)] != [b.next_u32() for _ in range(4)]
+
+    def test_next_bytes_length(self):
+        gen = LinearCongruential(3)
+        for n in (0, 1, 4, 5, 17):
+            assert len(gen.next_bytes(n)) == n
+
+    def test_range(self):
+        gen = LinearCongruential(4)
+        for _ in range(100):
+            assert 0 <= gen.next_u32() < 2**32
+
+    def test_rough_uniformity(self):
+        # Statistical randomness is all the paper asks of confounders.
+        gen = LinearCongruential(5)
+        values = [gen.next_u32() for _ in range(2000)]
+        high = sum(1 for v in values if v >= 2**31)
+        assert 800 < high < 1200
+
+    def test_no_short_cycles(self):
+        gen = LinearCongruential(6)
+        seen = {gen.next_u32() for _ in range(5000)}
+        assert len(seen) > 4990
+
+
+class TestBlumBlumShub:
+    def test_deterministic(self):
+        a = BlumBlumShub(seed=9, bits=64)
+        b = BlumBlumShub(seed=9, bits=64)
+        assert a.next_bytes(8) == b.next_bytes(8)
+
+    def test_bits_are_bits(self):
+        gen = BlumBlumShub(seed=10, bits=64)
+        for _ in range(64):
+            assert gen.next_bit() in (0, 1)
+
+    def test_bytes_length(self):
+        gen = BlumBlumShub(seed=11, bits=64)
+        assert len(gen.next_bytes(5)) == 5
+
+    def test_modulus_is_blum(self):
+        gen = BlumBlumShub(seed=12, bits=64)
+        # The modulus must be odd and composite (p*q).
+        assert gen._n % 2 == 1
+        assert gen._n.bit_length() >= 60
+
+    def test_bit_balance(self):
+        gen = BlumBlumShub(seed=13, bits=64)
+        ones = sum(gen.next_bit() for _ in range(800))
+        assert 300 < ones < 500
+
+
+class TestCounterRandom:
+    def test_deterministic(self):
+        a = CounterRandom(b"seed")
+        b = CounterRandom(b"seed")
+        assert a.next_bytes(100) == b.next_bytes(100)
+
+    def test_stream_continuity(self):
+        a = CounterRandom(b"seed")
+        b = CounterRandom(b"seed")
+        whole = a.next_bytes(64)
+        pieces = b.next_bytes(10) + b.next_bytes(30) + b.next_bytes(24)
+        assert whole == pieces
+
+    def test_different_seeds(self):
+        assert CounterRandom(b"x").next_bytes(16) != CounterRandom(b"y").next_bytes(16)
+
+    def test_next_u32(self):
+        gen = CounterRandom(b"z")
+        assert 0 <= gen.next_u32() < 2**32

@@ -1,0 +1,68 @@
+"""RSA signature tests: sign/verify round trip and tamper rejection."""
+
+import random
+
+import pytest
+
+from repro.crypto.rsa import RSAKeyPair, RSAPublicKey, SignatureError
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return RSAKeyPair.generate(512, random.Random(7))
+
+
+class TestSignVerify:
+    def test_roundtrip(self, keypair):
+        message = b"certify: principal bob, public value 0x1234"
+        signature = keypair.sign(message)
+        keypair.public.verify(message, signature)  # does not raise
+
+    def test_signature_length(self, keypair):
+        signature = keypair.sign(b"m")
+        assert len(signature) == keypair.public.size_bytes
+
+    def test_deterministic(self, keypair):
+        assert keypair.sign(b"same") == keypair.sign(b"same")
+
+    def test_different_messages_different_signatures(self, keypair):
+        assert keypair.sign(b"m1") != keypair.sign(b"m2")
+
+
+class TestRejection:
+    def test_rejects_tampered_message(self, keypair):
+        signature = keypair.sign(b"original")
+        with pytest.raises(SignatureError):
+            keypair.public.verify(b"tampered", signature)
+
+    def test_rejects_tampered_signature(self, keypair):
+        signature = bytearray(keypair.sign(b"original"))
+        signature[0] ^= 0x01
+        with pytest.raises(SignatureError):
+            keypair.public.verify(b"original", bytes(signature))
+
+    def test_rejects_wrong_length_signature(self, keypair):
+        with pytest.raises(SignatureError):
+            keypair.public.verify(b"m", b"\x00" * 10)
+
+    def test_rejects_foreign_key(self, keypair):
+        other = RSAKeyPair.generate(512, random.Random(8))
+        signature = other.sign(b"message")
+        with pytest.raises(SignatureError):
+            keypair.public.verify(b"message", signature)
+
+    def test_rejects_out_of_range_signature(self, keypair):
+        too_big = (keypair.public.n + 1).to_bytes(keypair.public.size_bytes, "big")
+        with pytest.raises(SignatureError):
+            keypair.public.verify(b"m", too_big)
+
+
+class TestGeneration:
+    def test_deterministic_from_seed(self):
+        a = RSAKeyPair.generate(512, random.Random(9))
+        b = RSAKeyPair.generate(512, random.Random(9))
+        assert a.public == b.public
+
+    def test_rejects_tiny_modulus(self):
+        with pytest.raises(ValueError):
+            RSAKeyPair.generate(128, random.Random(10))

@@ -1,0 +1,56 @@
+"""SHA-1 tests: FIPS 180 vectors, streaming, hashlib cross-check."""
+
+import hashlib
+
+import pytest
+
+from repro.crypto.sha1 import SHA1, sha1
+
+FIPS_VECTORS = [
+    (b"abc", "a9993e364706816aba3e25717850c26c9cd0d89d"),
+    (
+        b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+        "84983e441c3bd26ebaae4aa1f95129e5e54670f1",
+    ),
+    (b"", "da39a3ee5e6b4b0d3255bfef95601890afd80709"),
+]
+
+
+class TestFipsVectors:
+    @pytest.mark.parametrize("message,expected", FIPS_VECTORS)
+    def test_vector(self, message, expected):
+        assert sha1(message).hex() == expected
+
+    def test_million_a(self):
+        h = SHA1()
+        for _ in range(1000):
+            h.update(b"a" * 1000)
+        assert h.hexdigest() == "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+
+
+class TestAgainstHashlib:
+    @pytest.mark.parametrize("size", [0, 1, 55, 56, 57, 63, 64, 65, 128, 1000])
+    def test_boundary_lengths(self, size):
+        data = bytes((i * 3) & 0xFF for i in range(size))
+        assert sha1(data) == hashlib.sha1(data).digest()
+
+
+class TestStreaming:
+    def test_incremental_equals_oneshot(self):
+        data = b"datagram security via flows" * 41
+        h = SHA1()
+        for i in range(0, len(data), 13):
+            h.update(data[i : i + 13])
+        assert h.digest() == sha1(data)
+
+    def test_copy_is_independent(self):
+        h = SHA1(b"prefix-")
+        clone = h.copy()
+        h.update(b"a")
+        clone.update(b"b")
+        assert h.digest() == sha1(b"prefix-a")
+        assert clone.digest() == sha1(b"prefix-b")
+
+    def test_digest_size(self):
+        assert SHA1().digest_size == 20
+        assert len(sha1(b"x")) == 20

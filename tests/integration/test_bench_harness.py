@@ -1,0 +1,78 @@
+"""Tests for the measurement harness and report rendering."""
+
+import pytest
+
+from repro.bench import (
+    measure_tcp_throughput,
+    measure_udp_throughput,
+    render_cdf,
+    render_table,
+    setup_security,
+)
+from repro.bench.throughput import ThroughputResult
+from repro.netsim.costmodel import FREE_CPU, PENTIUM_133
+
+
+class TestThroughputResult:
+    def test_kbps(self):
+        result = ThroughputResult("x", "ttcp", payload_bytes=125_000, elapsed_seconds=1.0, datagrams=10)
+        assert result.kbps == pytest.approx(1000.0)
+
+    def test_zero_time(self):
+        result = ThroughputResult("x", "ttcp", 0, 0.0, 0)
+        assert result.kbps == 0.0
+
+
+class TestMeasurement:
+    def test_generic_wire_bound_with_free_cpu(self):
+        # With a free CPU, goodput approaches the 10 Mb/s wire (minus
+        # framing/header overhead).
+        result = measure_udp_throughput(
+            "generic", total_bytes=200_000, cost_model=FREE_CPU
+        )
+        assert 8_000 < result.kbps < 10_000
+
+    def test_bandwidth_parameter_respected(self):
+        slow = measure_udp_throughput(
+            "generic", total_bytes=100_000, cost_model=FREE_CPU, bandwidth_bps=1e6
+        )
+        assert 700 < slow.kbps < 1000
+
+    def test_all_datagrams_arrive(self):
+        result = measure_udp_throughput("generic", total_bytes=100_000)
+        assert result.datagrams == 100_000 // 8192
+
+    def test_tcp_measurement_completes(self):
+        result = measure_tcp_throughput("generic", total_bytes=100_000)
+        assert result.payload_bytes == 100_000
+        assert result.kbps > 1000
+
+    def test_unknown_configuration(self):
+        with pytest.raises(ValueError):
+            measure_udp_throughput("rot13")
+
+    def test_figure8_ordering_holds_at_small_scale(self):
+        generic = measure_udp_throughput("generic", total_bytes=80_000).kbps
+        full = measure_udp_throughput("fbs-des-md5", total_bytes=80_000).kbps
+        assert generic > full
+
+
+class TestRendering:
+    def test_table_alignment(self):
+        table = render_table(["name", "value"], [("a", 1), ("long-name", 22)])
+        lines = table.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert lines[0].startswith("name")
+        assert all(len(line) <= len(max(lines, key=len)) for line in lines)
+
+    def test_table_stringifies(self):
+        table = render_table(["x"], [(3.14,)])
+        assert "3.14" in table
+
+    def test_cdf_bars_scale(self):
+        text = render_cdf("T", [(1.0, 0.0), (2.0, 0.5), (3.0, 1.0)], "u", width=10)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 0
+        assert lines[2].count("#") == 5
+        assert lines[3].count("#") == 10
+        assert "100.0%" in lines[3]

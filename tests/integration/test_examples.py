@@ -1,0 +1,29 @@
+"""Every shipped example must run clean (they assert their own claims)."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent.parent / "examples").glob("*.py")
+)
+
+
+def _run(path: pathlib.Path) -> None:
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys):
+    _run(path)
+    out = capsys.readouterr().out
+    assert out.strip()  # every example narrates what it demonstrated

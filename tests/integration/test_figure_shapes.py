@@ -1,0 +1,97 @@
+"""Cheap smoke checks that each figure's *shape* reproduces.
+
+The full parameter sweeps live in ``benchmarks/``; these tests run
+scaled-down versions so the shape claims are covered by ``pytest tests``
+alone.
+"""
+
+import pytest
+
+from repro.bench import measure_udp_throughput
+from repro.netsim.addresses import IPAddress
+from repro.traces.analysis import FlowAnalysis
+from repro.traces.flowsim import CacheSimulator
+from repro.traces.workloads import CampusLanWorkload
+
+
+@pytest.fixture(scope="module")
+def lan_trace():
+    return CampusLanWorkload(duration=2400.0, clients=10, seed=42).generate()
+
+
+class TestFigure8Shape:
+    def test_ordering_and_ratio(self):
+        generic = measure_udp_throughput("generic", total_bytes=160_000).kbps
+        nop = measure_udp_throughput("fbs-nop", total_bytes=160_000).kbps
+        full = measure_udp_throughput("fbs-des-md5", total_bytes=160_000).kbps
+        # GENERIC ~ FBS NOP >> FBS DES+MD5, penalty roughly 2.3x.
+        assert generic > nop > full
+        assert nop > 0.9 * generic  # "very little overhead outside crypto"
+        assert 1.8 < generic / full < 3.0  # 7700/3400 = 2.26 in the paper
+
+    def test_absolute_calibration(self):
+        generic = measure_udp_throughput("generic", total_bytes=160_000).kbps
+        full = measure_udp_throughput("fbs-des-md5", total_bytes=160_000).kbps
+        assert 7000 < generic < 8500  # paper: ~7700 kb/s
+        assert 3000 < full < 4000  # paper: ~3400 kb/s
+
+
+class TestFigure9_10Shape:
+    def test_most_flows_small_few_carry_bulk(self, lan_trace):
+        analysis = FlowAnalysis.from_trace(lan_trace, threshold=600.0)
+        summary = analysis.summary()
+        assert summary["median_bytes"] < 5_000
+        assert analysis.bytes_carried_by_top_flows(0.10) > 0.80
+
+    def test_duration_mostly_short(self, lan_trace):
+        analysis = FlowAnalysis.from_trace(lan_trace, threshold=600.0)
+        points = analysis.duration_cdf([60.0])
+        # A solid fraction of flows live under a minute.
+        assert points[0][1] > 0.3
+
+
+class TestFigure11Shape:
+    def test_miss_rate_drops_sharply_with_cache_size(self, lan_trace):
+        server = IPAddress("10.1.0.250")  # the file server: busiest host
+        rates = [
+            CacheSimulator(size, threshold=600.0).send_side(lan_trace, server).miss_rate
+            for size in (2, 16, 128)
+        ]
+        assert rates[0] > rates[1] > rates[2]
+        # "The cache miss rate drops off sharply even with reasonably
+        # small cache sizes."
+        assert rates[1] < rates[0] / 2
+        assert rates[2] < 0.02
+
+
+class TestFigure12Shape:
+    def test_active_flows_modest(self, lan_trace):
+        analysis = FlowAnalysis.from_trace(lan_trace, threshold=600.0)
+        series = analysis.active_flow_series()
+        # "the number of simultaneous active flows ... not exceedingly
+        # high, and can be easily handled by a modern operating system".
+        assert 0 < series.peak < 10_000
+
+
+class TestFigure13Shape:
+    def test_growth_then_saturation(self, lan_trace):
+        means = {}
+        for threshold in (300.0, 600.0, 900.0, 1200.0):
+            analysis = FlowAnalysis.from_trace(lan_trace, threshold=threshold)
+            means[threshold] = analysis.active_flow_series().mean
+        # Active flows increase with THRESHOLD...
+        assert means[300.0] < means[600.0] <= means[900.0] <= means[1200.0] * 1.05
+        # ...but the growth flattens past 900 s (insensitivity).
+        early_growth = means[600.0] - means[300.0]
+        late_growth = means[1200.0] - means[900.0]
+        assert late_growth < early_growth
+
+
+class TestFigure14Shape:
+    def test_repeated_flows_drop_off_quickly(self, lan_trace):
+        repeats = {}
+        for threshold in (300.0, 600.0, 900.0, 1200.0):
+            analysis = FlowAnalysis.from_trace(lan_trace, threshold=threshold)
+            repeats[threshold] = analysis.repeated_flows
+        assert repeats[300.0] > repeats[600.0] > repeats[1200.0]
+        assert repeats[1200.0] < repeats[300.0] / 5

@@ -1,0 +1,50 @@
+"""Odds and ends: public API surface and small contracts."""
+
+import pytest
+
+
+class TestPublicApi:
+    def test_root_exports(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_core_exports(self):
+        import repro.core
+
+        for name in repro.core.__all__:
+            assert getattr(repro.core, name, None) is not None, name
+
+    def test_netsim_exports(self):
+        import repro.netsim
+
+        for name in repro.netsim.__all__:
+            assert getattr(repro.netsim, name, None) is not None, name
+
+    def test_crypto_exports(self):
+        import repro.crypto
+
+        for name in repro.crypto.__all__:
+            assert getattr(repro.crypto, name, None) is not None, name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+
+class TestMetricsContracts:
+    def test_rejected_property(self):
+        from repro.core.metrics import FBSMetrics
+
+        metrics = FBSMetrics()
+        metrics.datagrams_received = 10
+        metrics.datagrams_accepted = 7
+        assert metrics.datagrams_rejected == 3
+
+    def test_routed_throughput_unknown_mode(self):
+        from repro.bench import measure_routed_udp_throughput
+
+        with pytest.raises(ValueError):
+            measure_routed_udp_throughput("quantum")

@@ -1,0 +1,120 @@
+"""Certificate fetching over the wire: the secure flow bypass end-to-end.
+
+The in-process directory used elsewhere models the fetch RTT as a cost;
+here the fetch is a real UDP exchange with a certificate server, and
+the interesting behaviours emerge: the triggering datagram drops (like
+an ARP miss), retries succeed, TCP's own retransmission absorbs the
+loss transparently, and the bypass keeps the fetch itself out of FBS.
+"""
+
+import pytest
+
+from repro.core.deploy import CertificateServer, FBSDomain
+from repro.netsim import Network
+from repro.netsim.sockets import TcpClient, TcpServer, UdpSocket
+
+
+def build(seed=0):
+    net = Network(seed=seed)
+    net.add_segment("lan", "10.0.0.0")
+    certs = net.add_host("certs", segment="lan")
+    alice = net.add_host("alice", segment="lan")
+    bob = net.add_host("bob", segment="lan")
+    domain = FBSDomain(seed=seed + 31)
+    server = CertificateServer(certs, domain.directory)
+    fbs_a = domain.enroll_host_with_network_fetch(alice, certs, encrypt_all=True)
+    fbs_b = domain.enroll_host_with_network_fetch(bob, certs, encrypt_all=True)
+    return net, alice, bob, server, fbs_a, fbs_b
+
+
+class TestColdStartUdp:
+    def test_first_datagram_dropped_retry_succeeds(self):
+        net, alice, bob, server, fbs_a, _ = build(1)
+        inbox = UdpSocket(bob, 4000)
+        sender = UdpSocket(alice)
+        sender.sendto(b"attempt 1", bob.address, 4000)
+        net.sim.run()
+        # The trigger was dropped, but the fetch completed.
+        assert inbox.received == []
+        assert server.requests_served >= 1
+        assert fbs_a.fetcher.has(bob.address.to_bytes())
+        # Attempt 2 reaches bob, whose *own* cold PVC now triggers the
+        # reverse fetch: the receive side drops it too (unidirectional
+        # flows mean each side keys independently).
+        sender.sendto(b"attempt 2", bob.address, 4000)
+        net.sim.run()
+        assert inbox.received == []
+        # By attempt 3, both PVCs are warm: delivery.
+        sender.sendto(b"attempt 3", bob.address, 4000)
+        net.sim.run()
+        assert [p for p, _, _ in inbox.received] == [b"attempt 3"]
+
+    def test_prefetch_avoids_the_drop(self):
+        net, alice, bob, server, fbs_a, fbs_b = build(2)
+        fbs_a.fetcher.prefetch(bob.address.to_bytes())
+        fbs_b.fetcher.prefetch(alice.address.to_bytes())
+        net.sim.run()
+        inbox = UdpSocket(bob, 4000)
+        UdpSocket(alice).sendto(b"first time lucky", bob.address, 4000)
+        net.sim.run()
+        assert [p for p, _, _ in inbox.received] == [b"first time lucky"]
+
+    def test_request_storm_suppressed(self):
+        net, alice, bob, server, fbs_a, _ = build(3)
+        UdpSocket(bob, 4000)
+        sender = UdpSocket(alice)
+        # A burst of datagrams while the certificate is in flight: one
+        # request on the wire, not ten.
+        for i in range(10):
+            sender.sendto(b"x", bob.address, 4000)
+        net.sim.run()
+        assert fbs_a.fetcher.requests_sent == 1
+
+
+class TestColdStartTcp:
+    def test_tcp_handshake_self_heals(self):
+        # The SYN triggers the fetch and is dropped; TCP retransmits it;
+        # the connection completes with no application involvement.
+        net, alice, bob, server, _, _ = build(4)
+        tcp_server = TcpServer(bob, 9000)
+        client = TcpClient(alice, bob.address, 9000)
+        payload = bytes(range(256)) * 40
+
+        def go():
+            client.send(payload)
+            client.close()
+
+        client.conn.on_connect = go
+        net.sim.run(until=60.0)
+        net.sim.run()
+        assert bytes(tcp_server.received[0]) == payload
+        assert client.conn.segments_retransmitted >= 1
+
+
+class TestBypassOnTheWire:
+    def test_fetch_traffic_is_plaintext_and_exempt(self):
+        net, alice, bob, server, fbs_a, _ = build(5)
+        frames = []
+        net.segment("lan").attach_tap(frames.append)
+        UdpSocket(bob, 4000)
+        UdpSocket(alice).sendto(b"trigger", bob.address, 4000)
+        net.sim.run()
+        # The request carried bob's raw principal id in the clear.
+        assert any(bob.address.to_bytes() in frame for frame in frames)
+        assert fbs_a.bypassed >= 1
+
+    def test_forged_response_rejected(self):
+        from repro.core.certificates import CertificateAuthority
+        from repro.core.keying import Principal
+        from repro.crypto.dh import DHPrivateKey, WELL_KNOWN_GROUPS
+        import random
+
+        net, alice, bob, server, fbs_a, _ = build(6)
+        # An attacker-run CA issues a certificate for bob's address.
+        evil_ca = CertificateAuthority(random.Random(666), key_bits=512)
+        evil_key = DHPrivateKey.generate(WELL_KNOWN_GROUPS["TEST256"], random.Random(7))
+        forged = evil_ca.issue(Principal.from_ip(bob.address), evil_key)
+        # Deliver it straight to the fetcher as if it came from port 500.
+        fbs_a.fetcher._on_response(forged.encode(), bob.address, 500)
+        assert not fbs_a.fetcher.has(bob.address.to_bytes())
+        assert fbs_a.fetcher.responses_rejected == 1

@@ -1,0 +1,54 @@
+"""Seed robustness: the figure shapes hold across workload seeds.
+
+The reproduction's Figures 9-14 claims would be worthless if they held
+only for the benchmark seed.  These tests re-derive each qualitative
+shape on several independently seeded traces (scaled down for speed).
+"""
+
+import pytest
+
+from repro.traces.analysis import FlowAnalysis
+from repro.traces.flowsim import CacheSimulator
+from repro.traces.workloads import CampusLanWorkload
+
+SEEDS = (7, 101, 9001)
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def trace(request):
+    workload = CampusLanWorkload(duration=1800.0, clients=10, seed=request.param)
+    generated = workload.generate()
+    generated.file_server = workload.file_server  # convenience for tests
+    return generated
+
+
+class TestShapesAcrossSeeds:
+    def test_fig9_majority_short_few_carry_bulk(self, trace):
+        analysis = FlowAnalysis.from_trace(trace, threshold=600.0)
+        assert dict(analysis.size_packets_cdf([10]))[10] > 0.5
+        assert analysis.bytes_carried_by_top_flows(0.10) > 0.75
+
+    def test_fig10_durations_mostly_short(self, trace):
+        analysis = FlowAnalysis.from_trace(trace, threshold=600.0)
+        assert dict(analysis.duration_cdf([60.0]))[60.0] > 0.4
+
+    def test_fig11_cache_drop_off(self, trace):
+        tiny = CacheSimulator(2, threshold=600.0).send_side(trace, trace.file_server)
+        small = CacheSimulator(32, threshold=600.0).send_side(trace, trace.file_server)
+        assert small.miss_rate < tiny.miss_rate / 2
+
+    def test_fig13_growth_decelerates(self, trace):
+        means = [
+            FlowAnalysis.from_trace(trace, threshold=t).active_flow_series().mean
+            for t in (300.0, 600.0, 900.0, 1200.0)
+        ]
+        assert means[0] < means[1]
+        assert (means[3] - means[2]) < (means[1] - means[0])
+
+    def test_fig14_repeats_drop(self, trace):
+        repeats = [
+            FlowAnalysis.from_trace(trace, threshold=t).repeated_flows
+            for t in (300.0, 600.0, 1200.0)
+        ]
+        assert repeats[0] > repeats[1] >= repeats[2]
+        assert repeats[2] < max(1, repeats[0] / 3)

@@ -1,0 +1,105 @@
+"""Simulator clock and scheduler tests."""
+
+import pytest
+
+from repro.netsim.clock import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_ties_fire_in_insertion_order(self):
+        sim = Simulator()
+        fired = []
+        for label in "abcde":
+            sim.schedule(1.0, lambda l=label: fired.append(l))
+        sim.run()
+        assert fired == list("abcde")
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator(start_time=10.0)
+        fired = []
+        sim.schedule_at(12.5, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [12.5]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        fired = []
+
+        def outer():
+            fired.append(("outer", sim.now))
+            sim.schedule(1.0, lambda: fired.append(("inner", sim.now)))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert fired == [("outer", 1.0), ("inner", 2.0)]
+
+    def test_rejects_past_scheduling(self):
+        sim = Simulator(start_time=5.0)
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+        with pytest.raises(ValueError):
+            sim.schedule_at(4.0, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        token = sim.schedule(1.0, lambda: fired.append("x"))
+        token.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_pending_counts_cancelled(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        token = sim.schedule(2.0, lambda: None)
+        assert sim.pending() == 2
+        token.cancel()
+        assert sim.pending() == 1
+
+
+class TestRunControl:
+    def test_run_until_stops_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == [1, 10]
+
+    def test_run_until_advances_even_without_events(self):
+        sim = Simulator()
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_step(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        assert sim.step() is True
+        assert fired == [1]
+        assert sim.step() is False
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def rearm():
+            sim.schedule(0.001, rearm)
+
+        sim.schedule(0.001, rearm)
+        with pytest.raises(RuntimeError):
+            sim.run(max_events=100)

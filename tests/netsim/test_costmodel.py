@@ -1,0 +1,70 @@
+"""Cost model tests: calibration anchors and monotonicity."""
+
+import pytest
+
+from repro.netsim.costmodel import FREE_CPU, PENTIUM_133, CostModel
+
+
+class TestCalibrationAnchors:
+    def test_des_rate_matches_cryptolib(self):
+        # 549 kB/s on the Pentium 133 (Section 7.2).
+        seconds = PENTIUM_133.des_cbc(549_000)
+        assert seconds == pytest.approx(1.0)
+
+    def test_md5_rate_matches_cryptolib(self):
+        # 7060 kB/s on the Pentium 133 (Section 7.2).
+        seconds = PENTIUM_133.md5(7_060_000)
+        assert seconds == pytest.approx(1.0)
+
+    def test_generic_send_order_of_magnitude(self):
+        # ~1.5 ms per 1460-byte packet => ~7.7 Mb/s with the wire.
+        cost = PENTIUM_133.generic_send(1460)
+        assert 1e-3 < cost < 2e-3
+
+
+class TestStructure:
+    def test_nop_adds_fixed_overhead(self):
+        n = 1000
+        assert PENTIUM_133.fbs_nop(n) == pytest.approx(
+            PENTIUM_133.generic_send(n) + PENTIUM_133.fbs_per_packet
+        )
+
+    def test_crypto_cost_exceeds_nop(self):
+        n = 1460
+        assert PENTIUM_133.fbs_crypto(n) > PENTIUM_133.fbs_nop(n)
+
+    def test_crypto_never_cheaper_than_generic(self):
+        for n in (0, 100, 1460, 8192):
+            for encrypt in (False, True):
+                for mac in (False, True):
+                    assert (
+                        PENTIUM_133.fbs_crypto(n, encrypt=encrypt, mac=mac)
+                        >= PENTIUM_133.generic_send(n)
+                    )
+
+    def test_integration_saves_time(self):
+        separate = PENTIUM_133.with_(integrated_crypto=False)
+        n = 8192
+        assert PENTIUM_133.fbs_crypto(n) < separate.fbs_crypto(n)
+
+    def test_encrypt_dominates_mac(self):
+        n = 1460
+        enc_only = PENTIUM_133.fbs_crypto(n, encrypt=True, mac=False)
+        mac_only = PENTIUM_133.fbs_crypto(n, encrypt=False, mac=True)
+        assert enc_only > mac_only
+
+    def test_with_override(self):
+        model = PENTIUM_133.with_(modexp=1.0)
+        assert model.modexp == 1.0
+        assert model.per_byte_des == PENTIUM_133.per_byte_des
+
+    def test_monotone_in_size(self):
+        costs = [PENTIUM_133.fbs_crypto(n) for n in (0, 100, 1000, 10000)]
+        assert costs == sorted(costs)
+
+
+class TestFreeCpu:
+    def test_all_zero(self):
+        assert FREE_CPU.generic_send(10_000) == 0.0
+        assert FREE_CPU.fbs_crypto(10_000) == 0.0
+        assert FREE_CPU.modexp == 0.0

@@ -1,0 +1,111 @@
+"""IPv4 header/packet codec and checksum tests."""
+
+import pytest
+
+from repro.netsim.addresses import IPAddress
+from repro.netsim.ipv4 import (
+    IPV4_HEADER_LEN,
+    IPProtocol,
+    IPv4Header,
+    IPv4Packet,
+    checksum16,
+)
+
+
+def make_header(**overrides):
+    fields = dict(
+        src=IPAddress("10.0.0.1"),
+        dst=IPAddress("10.0.0.2"),
+        proto=IPProtocol.UDP,
+        identification=7,
+    )
+    fields.update(overrides)
+    return IPv4Header(**fields)
+
+
+class TestChecksum:
+    def test_rfc1071_example(self):
+        # Classic example from RFC 1071 materials.
+        data = bytes.fromhex("0001f203f4f5f6f7")
+        assert checksum16(data) == 0x220D
+
+    def test_odd_length_padded(self):
+        assert checksum16(b"\x01") == checksum16(b"\x01\x00")
+
+    def test_verification_property(self):
+        header = make_header().encode()
+        assert checksum16(header) == 0
+
+
+class TestHeaderCodec:
+    def test_roundtrip(self):
+        header = make_header(ttl=17, tos=0x10, dont_fragment=True)
+        header.total_length = 99
+        decoded = IPv4Header.decode(header.encode())
+        assert decoded.src == header.src
+        assert decoded.dst == header.dst
+        assert decoded.proto == header.proto
+        assert decoded.ttl == 17
+        assert decoded.tos == 0x10
+        assert decoded.dont_fragment is True
+        assert decoded.total_length == 99
+
+    def test_fragment_fields_roundtrip(self):
+        header = make_header(more_fragments=True, fragment_offset=185)
+        decoded = IPv4Header.decode(header.encode())
+        assert decoded.more_fragments and decoded.fragment_offset == 185
+
+    def test_encoded_length(self):
+        assert len(make_header().encode()) == IPV4_HEADER_LEN
+
+    def test_corruption_detected(self):
+        raw = bytearray(make_header().encode())
+        raw[8] ^= 0xFF  # flip the TTL
+        with pytest.raises(ValueError):
+            IPv4Header.decode(bytes(raw))
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError):
+            IPv4Header.decode(b"\x45\x00\x00")
+
+    def test_wrong_version_rejected(self):
+        raw = bytearray(make_header().encode())
+        raw[0] = 0x65  # version 6
+        with pytest.raises(ValueError):
+            IPv4Header.decode(bytes(raw))
+
+    def test_bad_fragment_offset_rejected(self):
+        header = make_header(fragment_offset=9000)
+        with pytest.raises(ValueError):
+            header.encode()
+
+
+class TestPacketCodec:
+    def test_roundtrip(self):
+        packet = IPv4Packet(header=make_header(), payload=b"hello ip layer")
+        decoded = IPv4Packet.decode(packet.encode())
+        assert decoded.payload == b"hello ip layer"
+        assert decoded.header.src == packet.header.src
+
+    def test_encode_fixes_total_length(self):
+        packet = IPv4Packet(header=make_header(), payload=b"x" * 100)
+        decoded = IPv4Packet.decode(packet.encode())
+        assert decoded.header.total_length == IPV4_HEADER_LEN + 100
+        assert decoded.size == IPV4_HEADER_LEN + 100
+
+    def test_total_length_bounds_payload(self):
+        raw = IPv4Packet(header=make_header(), payload=b"abcdef").encode()
+        # Ethernet-style trailing padding must be ignored.
+        decoded = IPv4Packet.decode(raw + b"\x00" * 10)
+        assert decoded.payload == b"abcdef"
+
+    def test_overlong_total_length_rejected(self):
+        packet = IPv4Packet(header=make_header(), payload=b"abcdef")
+        packet.header.total_length = 2000
+        raw = packet.header.encode() + packet.payload
+        with pytest.raises(ValueError):
+            IPv4Packet.decode(raw)
+
+    def test_empty_payload(self):
+        packet = IPv4Packet(header=make_header(), payload=b"")
+        assert IPv4Packet.decode(packet.encode()).payload == b""

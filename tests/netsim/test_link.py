@@ -1,0 +1,153 @@
+"""Link and Ethernet segment tests."""
+
+import pytest
+
+from repro.netsim.clock import Simulator
+from repro.netsim.link import (
+    ETHERNET_FRAMING_OVERHEAD,
+    EthernetSegment,
+    Link,
+    LinkConditions,
+)
+
+
+class TestLink:
+    def test_delivery(self):
+        sim = Simulator()
+        link = Link(sim)
+        received = []
+        link.attach(received.append)
+        link.send(b"frame-1")
+        sim.run()
+        assert received == [b"frame-1"]
+
+    def test_serialization_time(self):
+        sim = Simulator()
+        link = Link(sim, bandwidth_bps=8_000_000, propagation_delay=0.0)
+        assert link.serialization_time(1000 - ETHERNET_FRAMING_OVERHEAD) == pytest.approx(
+            0.001
+        )
+
+    def test_frames_serialize_fifo(self):
+        sim = Simulator()
+        link = Link(sim, bandwidth_bps=1_000_000, propagation_delay=0.0)
+        arrivals = []
+        link.attach(lambda f: arrivals.append((sim.now, f)))
+        link.send(b"a" * 100)
+        link.send(b"b" * 100)
+        sim.run()
+        assert [f for _, f in arrivals] == [b"a" * 100, b"b" * 100]
+        gap = arrivals[1][0] - arrivals[0][0]
+        assert gap == pytest.approx(link.serialization_time(100))
+
+    def test_propagation_delay(self):
+        sim = Simulator()
+        link = Link(sim, bandwidth_bps=1e9, propagation_delay=0.5)
+        arrivals = []
+        link.attach(lambda f: arrivals.append(sim.now))
+        link.send(b"x")
+        sim.run()
+        assert arrivals[0] >= 0.5
+
+    def test_loss(self):
+        sim = Simulator()
+        link = Link(sim, conditions=LinkConditions(loss_probability=1.0), seed=1)
+        received = []
+        link.attach(received.append)
+        for _ in range(10):
+            link.send(b"gone")
+        sim.run()
+        assert received == []
+        assert link.frames_dropped == 10
+
+    def test_duplication(self):
+        sim = Simulator()
+        link = Link(sim, conditions=LinkConditions(duplication_probability=1.0), seed=2)
+        received = []
+        link.attach(received.append)
+        link.send(b"twice")
+        sim.run()
+        assert received == [b"twice", b"twice"]
+
+    def test_reordering_possible(self):
+        sim = Simulator()
+        link = Link(
+            sim,
+            bandwidth_bps=1e9,
+            conditions=LinkConditions(reorder_jitter=0.1),
+            seed=3,
+        )
+        received = []
+        link.attach(received.append)
+        frames = [bytes([i]) for i in range(30)]
+        for frame in frames:
+            link.send(frame)
+        sim.run()
+        assert sorted(received) == sorted(frames)
+        assert received != frames  # with jitter 0.1 over 30 frames, certain
+
+    def test_requires_receiver(self):
+        sim = Simulator()
+        link = Link(sim)
+        with pytest.raises(RuntimeError):
+            link.send(b"nowhere")
+
+    def test_invalid_conditions(self):
+        with pytest.raises(ValueError):
+            LinkConditions(loss_probability=1.5)
+        with pytest.raises(ValueError):
+            LinkConditions(reorder_jitter=-1)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            Link(Simulator(), bandwidth_bps=0)
+
+
+class TestEthernetSegment:
+    def test_broadcast_to_all_but_sender(self):
+        sim = Simulator()
+        seg = EthernetSegment(sim)
+        inboxes = [[], [], []]
+        ids = [seg.attach(inboxes[i].append) for i in range(3)]
+        seg.send(ids[0], b"hello")
+        sim.run()
+        assert inboxes[0] == []
+        assert inboxes[1] == [b"hello"]
+        assert inboxes[2] == [b"hello"]
+
+    def test_tap_sees_everything(self):
+        sim = Simulator()
+        seg = EthernetSegment(sim)
+        sniffer = []
+        station = seg.attach(lambda f: None)
+        seg.attach_tap(sniffer.append)
+        seg.send(station, b"frame")
+        sim.run()
+        assert sniffer == [b"frame"]
+
+    def test_medium_serializes_across_stations(self):
+        sim = Simulator()
+        seg = EthernetSegment(sim, bandwidth_bps=1_000_000, propagation_delay=0.0)
+        a = seg.attach(lambda f: None)
+        b = seg.attach(lambda f: None)
+        t1 = seg.send(a, b"x" * 87)  # 87+38 = 125 bytes = 1ms at 1 Mb/s
+        t2 = seg.send(b, b"y" * 87)
+        assert t2 == pytest.approx(t1 + 0.001)
+
+    def test_unknown_station_rejected(self):
+        seg = EthernetSegment(Simulator())
+        with pytest.raises(ValueError):
+            seg.send(5, b"x")
+
+    def test_loss_applies(self):
+        sim = Simulator()
+        seg = EthernetSegment(
+            sim, conditions=LinkConditions(loss_probability=1.0), seed=4
+        )
+        inbox = []
+        a = seg.attach(lambda f: None)
+        seg.attach(inbox.append)
+        seg.send(a, b"lost")
+        sim.run()
+        assert inbox == []
+        assert seg.frames_dropped == 1

@@ -1,0 +1,81 @@
+"""Topology builder and routing tests."""
+
+import pytest
+
+from repro.netsim import Network
+from repro.netsim.costmodel import PENTIUM_133
+from repro.netsim.sockets import UdpSocket
+
+
+class TestTopology:
+    def test_sequential_addressing(self):
+        net = Network()
+        net.add_segment("lan", "10.0.0.0")
+        a = net.add_host("a", segment="lan")
+        b = net.add_host("b", segment="lan")
+        assert str(a.address) == "10.0.0.1"
+        assert str(b.address) == "10.0.0.2"
+
+    def test_explicit_address(self):
+        net = Network()
+        net.add_segment("lan", "10.0.0.0")
+        host = net.add_host("x", segment="lan", address="10.0.0.99")
+        assert str(host.address) == "10.0.0.99"
+
+    def test_duplicate_names_rejected(self):
+        net = Network()
+        net.add_segment("lan", "10.0.0.0")
+        net.add_host("a", segment="lan")
+        with pytest.raises(ValueError):
+            net.add_host("a", segment="lan")
+        with pytest.raises(ValueError):
+            net.add_segment("lan", "10.1.0.0")
+
+    def test_directory(self):
+        net = Network()
+        net.add_segment("lan", "10.0.0.0")
+        host = net.add_host("server", segment="lan")
+        assert net.resolve("server") == host.address
+
+    def test_cost_model_attached(self):
+        net = Network()
+        net.add_segment("lan", "10.0.0.0")
+        host = net.add_host("fast", segment="lan", cost_model=PENTIUM_133)
+        assert host.cost_model is PENTIUM_133
+
+
+class TestRouting:
+    def _two_segment_net(self):
+        net = Network(seed=1)
+        net.add_segment("lan1", "10.0.1.0")
+        net.add_segment("lan2", "10.0.2.0")
+        a = net.add_host("a", segment="lan1")
+        b = net.add_host("b", segment="lan2")
+        router = net.add_router("r", segments=["lan1", "lan2"])
+        net.add_default_route(a, "lan1", router)
+        net.add_default_route(b, "lan2", router)
+        return net, a, b, router
+
+    def test_cross_segment_delivery(self):
+        net, a, b, router = self._two_segment_net()
+        rx = UdpSocket(b, 5000)
+        UdpSocket(a).sendto(b"routed", b.address, 5000)
+        net.sim.run()
+        assert rx.received[0][0] == b"routed"
+        assert router.stack.stats.packets_forwarded == 1
+
+    def test_reverse_path(self):
+        net, a, b, router = self._two_segment_net()
+        rx = UdpSocket(a, 5000)
+        UdpSocket(b).sendto(b"back", a.address, 5000)
+        net.sim.run()
+        assert rx.received[0][0] == b"back"
+
+    def test_default_route_requires_shared_segment(self):
+        net = Network()
+        net.add_segment("lan1", "10.0.1.0")
+        net.add_segment("lan2", "10.0.2.0")
+        a = net.add_host("a", segment="lan1")
+        b = net.add_host("b", segment="lan2")
+        with pytest.raises(ValueError):
+            net.add_default_route(a, "lan2", b)

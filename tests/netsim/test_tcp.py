@@ -1,0 +1,232 @@
+"""Simplified TCP tests: handshake, transfer, loss recovery, exact-fit."""
+
+import pytest
+
+from repro.netsim import Network
+from repro.netsim.link import LinkConditions
+from repro.netsim.sockets import TcpClient, TcpServer
+from repro.netsim.tcp import TCP_HEADER_LEN, TCPHeader, TcpState
+
+
+def build_pair(seed=0, conditions=None):
+    net = Network(seed=seed)
+    net.add_segment("lan", "10.0.0.0", conditions=conditions)
+    return net, net.add_host("a", segment="lan"), net.add_host("b", segment="lan")
+
+
+class TestHeaderCodec:
+    def test_roundtrip(self):
+        header = TCPHeader(sport=1, dport=2, seq=3_000_000_000, ack=7, flags=0x12)
+        decoded = TCPHeader.decode(header.encode())
+        assert decoded.seq == 3_000_000_000
+        assert decoded.flags == 0x12
+        assert decoded.window == 65535
+
+    def test_length(self):
+        assert len(TCPHeader(1, 2, 3, 4, 0).encode()) == TCP_HEADER_LEN
+
+    def test_truncated(self):
+        with pytest.raises(ValueError):
+            TCPHeader.decode(b"\x00" * 10)
+
+
+class TestHandshake:
+    def test_connect(self):
+        net, a, b = build_pair()
+        TcpServer(b, 80)
+        client = TcpClient(a, b.address, 80)
+        net.sim.run()
+        assert client.connected
+        assert client.conn.state is TcpState.ESTABLISHED
+
+    def test_connect_to_closed_port_fails_eventually(self):
+        net, a, b = build_pair()
+        client = TcpClient(a, b.address, 81)
+        net.sim.run(until=300.0)
+        net.sim.run()
+        assert not client.connected
+        assert client.failure is not None
+
+    def test_server_sees_connection(self):
+        net, a, b = build_pair()
+        server = TcpServer(b, 80)
+        TcpClient(a, b.address, 80)
+        net.sim.run()
+        assert len(server.connections) == 1
+        assert server.connections[0].state is TcpState.ESTABLISHED
+
+
+class TestTransfer:
+    def test_small_message(self):
+        net, a, b = build_pair()
+        server = TcpServer(b, 80)
+        client = TcpClient(a, b.address, 80)
+        client.conn.on_connect = lambda: client.send(b"GET / HTTP/1.0\r\n\r\n")
+        net.sim.run()
+        assert bytes(server.received[0]) == b"GET / HTTP/1.0\r\n\r\n"
+
+    def test_bulk_transfer(self):
+        net, a, b = build_pair()
+        server = TcpServer(b, 80)
+        client = TcpClient(a, b.address, 80)
+        blob = bytes(range(256)) * 500  # 128 000 bytes
+
+        def go():
+            client.send(blob)
+            client.close()
+
+        client.conn.on_connect = go
+        net.sim.run()
+        assert bytes(server.received[0]) == blob
+
+    def test_bidirectional(self):
+        net, a, b = build_pair()
+        server = TcpServer(b, 80)
+
+        def echo(conn, chunk):
+            conn.send(b"echo:" + chunk)
+
+        server.on_data = echo
+        client = TcpClient(a, b.address, 80)
+        client.conn.on_connect = lambda: client.send(b"hello")
+        net.sim.run()
+        assert bytes(client.received) == b"echo:hello"
+
+    def test_two_concurrent_connections(self):
+        net, a, b = build_pair()
+        server = TcpServer(b, 80)
+        c1 = TcpClient(a, b.address, 80)
+        c2 = TcpClient(a, b.address, 80)
+        c1.conn.on_connect = lambda: c1.send(b"one")
+        c2.conn.on_connect = lambda: c2.send(b"two")
+        net.sim.run()
+        assert sorted(bytes(r) for r in server.received) == [b"one", b"two"]
+
+    def test_send_before_established_queues(self):
+        net, a, b = build_pair()
+        server = TcpServer(b, 80)
+        client = TcpClient(a, b.address, 80)
+        client.send(b"early data")  # queued during SYN_SENT
+        net.sim.run()
+        assert bytes(server.received[0]) == b"early data"
+
+
+class TestLossRecovery:
+    def test_retransmission_completes_transfer(self):
+        net, a, b = build_pair(
+            seed=3, conditions=LinkConditions(loss_probability=0.15)
+        )
+        server = TcpServer(b, 80)
+        client = TcpClient(a, b.address, 80)
+        blob = bytes(range(256)) * 300
+
+        def go():
+            client.send(blob)
+            client.close()
+
+        client.conn.on_connect = go
+        net.sim.run(until=120.0)
+        net.sim.run()
+        assert bytes(server.received[0]) == blob
+        assert client.conn.segments_retransmitted > 0
+
+    def test_reordering_tolerated(self):
+        net, a, b = build_pair(
+            seed=4, conditions=LinkConditions(reorder_jitter=0.02)
+        )
+        server = TcpServer(b, 80)
+        client = TcpClient(a, b.address, 80)
+        blob = bytes(range(256)) * 100
+
+        def go():
+            client.send(blob)
+            client.close()
+
+        client.conn.on_connect = go
+        net.sim.run(until=120.0)
+        net.sim.run()
+        assert bytes(server.received[0]) == blob
+
+
+class TestClose:
+    def test_clean_close_both_sides(self):
+        net, a, b = build_pair()
+        server = TcpServer(b, 80)
+        client = TcpClient(a, b.address, 80)
+
+        def go():
+            client.send(b"bye")
+            client.close()
+
+        client.conn.on_connect = go
+        net.sim.run()
+        assert client.conn.state is TcpState.CLOSED
+        assert server.connections[0].state is TcpState.CLOSED
+        assert a.tcp.open_connections == 0
+        assert b.tcp.open_connections == 0
+
+    def test_close_flushes_pending_data(self):
+        net, a, b = build_pair()
+        server = TcpServer(b, 80)
+        client = TcpClient(a, b.address, 80)
+        blob = b"z" * 50_000
+
+        def go():
+            client.send(blob)
+            client.close()  # close immediately; data must still arrive
+
+        client.conn.on_connect = go
+        net.sim.run()
+        assert len(server.received[0]) == len(blob)
+
+    def test_send_after_close_rejected(self):
+        net, a, b = build_pair()
+        TcpServer(b, 80)
+        client = TcpClient(a, b.address, 80)
+
+        def go():
+            client.close()
+            with pytest.raises(RuntimeError):
+                client.send(b"late")
+
+        client.conn.on_connect = go
+        net.sim.run()
+
+
+class TestMss:
+    def test_mss_reflects_mtu(self):
+        net, a, b = build_pair()
+        TcpServer(b, 80)
+        client = TcpClient(a, b.address, 80)
+        assert client.conn.mss == 1500 - 20 - 20
+
+    def test_mss_honours_header_reserve(self):
+        net, a, b = build_pair()
+        a.tcp.header_reserve = lambda: 40
+        TcpServer(b, 80)
+        client = TcpClient(a, b.address, 80)
+        assert client.conn.mss == 1500 - 20 - 20 - 40
+
+    def test_full_mss_segments_set_df(self):
+        net, a, b = build_pair()
+        frames = []
+        net.segment("lan").attach_tap(frames.append)
+        server = TcpServer(b, 80)
+        client = TcpClient(a, b.address, 80)
+        blob = b"q" * 10_000
+
+        def go():
+            client.send(blob)
+            client.close()
+
+        client.conn.on_connect = go
+        net.sim.run()
+        from repro.netsim.ipv4 import IPv4Packet
+
+        df_sizes = [
+            len(IPv4Packet.decode(f).payload)
+            for f in frames
+            if IPv4Packet.decode(f).header.dont_fragment
+        ]
+        # Exact-fit segments (MSS + TCP header) carry DF.
+        assert df_sizes and all(size == 1480 for size in df_sizes)

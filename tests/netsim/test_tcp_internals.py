@@ -1,0 +1,96 @@
+"""TCP internals: sequence arithmetic, window limits, edge behaviours."""
+
+import pytest
+
+from repro.netsim import Network
+from repro.netsim.sockets import TcpClient, TcpServer
+from repro.netsim.tcp import _SEQ_MOD, _seq_le, _seq_lt
+
+
+class TestSequenceArithmetic:
+    def test_basic_ordering(self):
+        assert _seq_lt(1, 2)
+        assert not _seq_lt(2, 1)
+        assert not _seq_lt(5, 5)
+
+    def test_wraparound(self):
+        near_max = _SEQ_MOD - 10
+        assert _seq_lt(near_max, 5)  # 5 is "after" the wrap
+        assert not _seq_lt(5, near_max)
+
+    def test_le(self):
+        assert _seq_le(7, 7)
+        assert _seq_le(7, 8)
+        assert not _seq_le(8, 7)
+
+    def test_half_space_boundary(self):
+        # Differences of exactly half the space are treated as "behind".
+        assert not _seq_lt(0, 1 << 31)
+
+
+class TestSequenceWrapTransfer:
+    def test_transfer_across_seq_wrap(self):
+        # Force the ISS near the wrap point: a modest transfer crosses
+        # the 2^32 boundary and must still deliver exactly.
+        net = Network(seed=33)
+        net.add_segment("lan", "10.0.0.0")
+        a = net.add_host("a", segment="lan")
+        b = net.add_host("b", segment="lan")
+        a.tcp._iss_source = lambda: _SEQ_MOD - 5000
+        server = TcpServer(b, 80)
+        client = TcpClient(a, b.address, 80)
+        blob = bytes(range(256)) * 80  # 20 480 bytes: crosses the wrap
+
+        def go():
+            client.send(blob)
+            client.close()
+
+        client.conn.on_connect = go
+        net.sim.run()
+        assert bytes(server.received[0]) == blob
+
+
+class TestWindowLimit:
+    def test_sender_respects_peer_window(self):
+        net = Network(seed=34)
+        net.add_segment("lan", "10.0.0.0")
+        a = net.add_host("a", segment="lan")
+        b = net.add_host("b", segment="lan")
+        TcpServer(b, 80)
+        client = TcpClient(a, b.address, 80)
+
+        sent_before_ack = []
+
+        def go():
+            # Pretend the peer advertised a small window (set after the
+            # SYN-ACK so the handshake doesn't overwrite it).
+            client.conn.peer_window = 4000
+            client.send(b"z" * 20_000)
+            sent_before_ack.append(client.conn.unacked)
+
+        client.conn.on_connect = go
+        net.sim.run()
+        # At the instant of send, in-flight data was capped at the window.
+        assert sent_before_ack[0] <= 4000
+
+
+class TestEphemeralPorts:
+    def test_udp_wraparound(self):
+        net = Network(seed=35)
+        net.add_segment("lan", "10.0.0.0")
+        a = net.add_host("a", segment="lan")
+        a.udp._next_ephemeral = 0xFFFF
+        p1 = a.udp.allocate_ephemeral()
+        p2 = a.udp.allocate_ephemeral()
+        assert p1 == 0xFFFF
+        assert p2 == 1024  # wrapped
+
+    def test_tcp_distinct_ephemerals(self):
+        net = Network(seed=36)
+        net.add_segment("lan", "10.0.0.0")
+        a = net.add_host("a", segment="lan")
+        b = net.add_host("b", segment="lan")
+        TcpServer(b, 80)
+        c1 = TcpClient(a, b.address, 80)
+        c2 = TcpClient(a, b.address, 80)
+        assert c1.conn.local_port != c2.conn.local_port

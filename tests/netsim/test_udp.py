@@ -1,0 +1,124 @@
+"""UDP layer tests."""
+
+import pytest
+
+from repro.netsim import Network
+from repro.netsim.addresses import IPAddress
+from repro.netsim.sockets import UdpSocket
+from repro.netsim.udp import UDP_HEADER_LEN, UDPHeader
+
+
+class TestHeaderCodec:
+    def test_roundtrip(self):
+        header = UDPHeader(sport=1024, dport=53, length=36, checksum=0xABCD)
+        decoded = UDPHeader.decode(header.encode())
+        assert (decoded.sport, decoded.dport, decoded.length, decoded.checksum) == (
+            1024,
+            53,
+            36,
+            0xABCD,
+        )
+
+    def test_truncated(self):
+        with pytest.raises(ValueError):
+            UDPHeader.decode(b"\x00\x01")
+
+    def test_length_constant(self):
+        assert UDP_HEADER_LEN == 8
+
+
+def build_pair(seed=0):
+    net = Network(seed=seed)
+    net.add_segment("lan", "10.0.0.0")
+    return net, net.add_host("a", segment="lan"), net.add_host("b", segment="lan")
+
+
+class TestDelivery:
+    def test_roundtrip(self):
+        net, a, b = build_pair()
+        rx = UdpSocket(b, 5000)
+        tx = UdpSocket(a)
+        tx.sendto(b"ping", b.address, 5000)
+        net.sim.run()
+        payload, src, sport = rx.received[0]
+        assert payload == b"ping"
+        assert src == a.address
+        assert sport == tx.port
+
+    def test_reply_path(self):
+        net, a, b = build_pair()
+        rx = UdpSocket(b, 5000)
+        rx.on_receive = lambda payload, src, sport: rx_sock_reply(payload, src, sport)
+        replies = UdpSocket(a, 4000)
+
+        def rx_sock_reply(payload, src, sport):
+            b.udp.sendto(b"pong:" + payload, 5000, src, sport)
+
+        a.udp.sendto(b"ping", 4000, b.address, 5000)
+        net.sim.run()
+        assert replies.received[0][0] == b"pong:ping"
+
+    def test_unbound_port_counted(self):
+        net, a, b = build_pair()
+        tx = UdpSocket(a)
+        tx.sendto(b"void", b.address, 9999)
+        net.sim.run()
+        assert b.udp.no_port == 1
+
+    def test_large_datagram_fragments_and_reassembles(self):
+        net, a, b = build_pair()
+        rx = UdpSocket(b, 5000)
+        tx = UdpSocket(a)
+        blob = bytes(range(256)) * 32  # 8 KB: fragments on a 1500 MTU
+        tx.sendto(blob, b.address, 5000)
+        net.sim.run()
+        assert rx.received[0][0] == blob
+        assert a.stack.stats.fragments_created >= 6
+
+    def test_ephemeral_ports_unique(self):
+        net, a, _ = build_pair()
+        ports = {UdpSocket(a).port for _ in range(50)}
+        assert len(ports) == 50
+
+    def test_checksum_detects_corruption(self):
+        net, a, b = build_pair()
+        rx = UdpSocket(b, 5000)
+        # Corrupt frames in flight by tapping and re-injecting is covered
+        # by attack tests; here, verify the checksum flag plumbs through.
+        assert a.udp.compute_checksums
+        tx = UdpSocket(a)
+        tx.sendto(b"checked", b.address, 5000)
+        net.sim.run()
+        assert rx.received
+
+    def test_checksums_can_be_disabled(self):
+        net, a, b = build_pair()
+        a.udp.compute_checksums = False
+        rx = UdpSocket(b, 5000)
+        UdpSocket(a).sendto(b"raw", b.address, 5000)
+        net.sim.run()
+        assert rx.received[0][0] == b"raw"
+
+
+class TestBinding:
+    def test_double_bind_rejected(self):
+        _, a, _ = build_pair()
+        UdpSocket(a, 6000)
+        with pytest.raises(ValueError):
+            UdpSocket(a, 6000)
+
+    def test_rebind_after_close(self):
+        _, a, _ = build_pair()
+        sock = UdpSocket(a, 6000)
+        sock.close()
+        UdpSocket(a, 6000)  # no error
+
+    def test_rebind_wait_guard(self):
+        net, a, _ = build_pair()
+        a.udp.rebind_wait = 100.0
+        sock = UdpSocket(a, 6000)
+        sock.close()
+        with pytest.raises(ValueError):
+            UdpSocket(a, 6000)
+        net.sim.run(until=200.0)
+        UdpSocket(a, 6000)  # allowed after the wait

@@ -1,0 +1,140 @@
+"""Property-based tests for the crypto substrate."""
+
+import hashlib
+import hmac as stdlib_hmac
+import zlib
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.crc import crc32
+from repro.crypto.des import DES
+from repro.crypto.mac import hmac_md5, truncate_mac
+from repro.crypto.md5 import MD5, md5
+from repro.crypto.modes import (
+    CipherMode,
+    decrypt,
+    encrypt,
+    pad_block,
+    unpad_block,
+)
+from repro.crypto.sha1 import sha1
+
+keys = st.binary(min_size=8, max_size=8)
+blocks = st.binary(min_size=8, max_size=8)
+ivs = st.binary(min_size=8, max_size=8)
+payloads = st.binary(min_size=0, max_size=512)
+
+
+class TestDesProperties:
+    @given(key=keys, block=blocks)
+    @settings(max_examples=50, deadline=None)
+    def test_decrypt_inverts_encrypt(self, key, block):
+        cipher = DES(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    @given(key=keys, block=blocks)
+    @settings(max_examples=50, deadline=None)
+    def test_encrypt_is_permutation(self, key, block):
+        cipher = DES(key)
+        ciphertext = cipher.encrypt_block(block)
+        assert len(ciphertext) == 8
+        # Injective: re-encrypting the decryption returns the ciphertext.
+        assert cipher.encrypt_block(cipher.decrypt_block(ciphertext)) == ciphertext
+
+
+class TestModeProperties:
+    @given(data=payloads)
+    @settings(max_examples=100, deadline=None)
+    def test_pad_unpad_identity(self, data):
+        padded = pad_block(data)
+        assert len(padded) % 8 == 0
+        assert unpad_block(padded) == data
+
+    @given(
+        key=keys,
+        iv=ivs,
+        data=payloads,
+        mode=st.sampled_from(list(CipherMode)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_mode_roundtrip(self, key, iv, data, mode):
+        cipher = DES(key)
+        assert decrypt(mode, cipher, iv, encrypt(mode, cipher, iv, data)) == data
+
+    @given(key=keys, iv=ivs, data=st.binary(min_size=1, max_size=256))
+    @settings(max_examples=40, deadline=None)
+    def test_cbc_ciphertext_differs_from_plaintext(self, key, iv, data):
+        out = encrypt(CipherMode.CBC, DES(key), iv, data)
+        assert out != data
+
+
+class TestHashProperties:
+    @given(data=st.binary(min_size=0, max_size=2048))
+    @settings(max_examples=100, deadline=None)
+    def test_md5_matches_hashlib(self, data):
+        assert md5(data) == hashlib.md5(data).digest()
+
+    @given(data=st.binary(min_size=0, max_size=2048))
+    @settings(max_examples=100, deadline=None)
+    def test_sha1_matches_hashlib(self, data):
+        assert sha1(data) == hashlib.sha1(data).digest()
+
+    @given(data=st.binary(max_size=1024), split=st.integers(min_value=0, max_value=1024))
+    @settings(max_examples=60, deadline=None)
+    def test_md5_streaming_split_invariant(self, data, split):
+        split = min(split, len(data))
+        h = MD5(data[:split])
+        h.update(data[split:])
+        assert h.digest() == md5(data)
+
+    @given(data=st.binary(max_size=2048))
+    @settings(max_examples=100, deadline=None)
+    def test_crc32_matches_zlib(self, data):
+        assert crc32(data) == zlib.crc32(data)
+
+    @given(a=st.binary(max_size=512), b=st.binary(max_size=512))
+    @settings(max_examples=60, deadline=None)
+    def test_crc32_incremental(self, a, b):
+        assert crc32(a + b) == crc32(b, crc32(a))
+
+
+class TestMacProperties:
+    @given(key=st.binary(max_size=100), data=st.binary(max_size=512))
+    @settings(max_examples=60, deadline=None)
+    def test_hmac_matches_stdlib(self, key, data):
+        assert hmac_md5(key, data) == stdlib_hmac.new(key, data, "md5").digest()
+
+    @given(
+        mac=st.binary(min_size=16, max_size=16),
+        nbytes=st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_truncation_is_prefix(self, mac, nbytes):
+        assert truncate_mac(mac, nbytes * 8) == mac[:nbytes]
+
+
+class TestDesAlgebra:
+    @given(key=keys, block=blocks)
+    @settings(max_examples=40, deadline=None)
+    def test_complementation_property(self, key, block):
+        # DES's classic algebraic identity: DES_{~K}(~P) == ~DES_K(P).
+        # A table-transcription error would almost surely break this.
+        def inv(b):
+            return bytes(x ^ 0xFF for x in b)
+
+        straight = DES(key).encrypt_block(block)
+        complemented = DES(inv(key)).encrypt_block(inv(block))
+        assert complemented == inv(straight)
+
+    @given(key=keys, block=blocks)
+    @settings(max_examples=20, deadline=None)
+    def test_no_fixed_points_in_practice(self, key, block):
+        # Not an algebraic law, but a vanishing-probability event: any
+        # hit would indicate a degenerate implementation (e.g. identity
+        # permutation bugs).
+        assert DES(key).encrypt_block(block) != block or True  # smoke only
+        # The real check: double encryption differs from single.
+        once = DES(key).encrypt_block(block)
+        twice = DES(key).encrypt_block(once)
+        assert twice != once

@@ -1,0 +1,91 @@
+"""Property-based tests on FBS protocol invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import FBSConfig
+from repro.core.deploy import FBSDomain
+from repro.core.errors import ReceiveError
+from repro.core.header import FBSHeader
+from repro.core.keying import Principal
+
+
+@pytest.fixture(scope="module")
+def endpoints():
+    domain = FBSDomain(seed=1234)
+    clock = {"now": 0.0}
+    alice = domain.make_endpoint(Principal.from_name("alice"), now=lambda: clock["now"])
+    bob = domain.make_endpoint(Principal.from_name("bob"), now=lambda: clock["now"])
+    return alice, bob
+
+
+class TestRoundTripProperties:
+    @given(body=st.binary(min_size=0, max_size=2048), secret=st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_unprotect_inverts_protect(self, endpoints, body, secret):
+        alice, bob = endpoints
+        wire = alice.protect(body, bob.principal, secret=secret)
+        assert bob.unprotect(wire, alice.principal, secret=secret) == body
+
+    @given(body=st.binary(min_size=0, max_size=512))
+    @settings(max_examples=40, deadline=None)
+    def test_wire_expansion_bounded(self, endpoints, body):
+        alice, bob = endpoints
+        wire = alice.protect(body, bob.principal, secret=True)
+        # Header + body + worst-case block padding.
+        assert len(wire) <= alice.header_size + len(body) + 8
+        assert len(wire) >= alice.header_size + len(body)
+
+    @given(body=st.binary(min_size=1, max_size=256))
+    @settings(max_examples=40, deadline=None)
+    def test_encrypted_wire_never_contains_long_plaintext_runs(self, endpoints, body):
+        alice, bob = endpoints
+        if len(body) < 16:
+            return
+        wire = alice.protect(body, bob.principal, secret=True)
+        assert body not in wire[alice.header_size :]
+
+
+class TestTamperProperties:
+    @given(
+        body=st.binary(min_size=1, max_size=256),
+        position=st.integers(min_value=0, max_value=10_000),
+        flip=st.integers(min_value=1, max_value=255),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_any_single_byte_corruption_rejected(self, endpoints, body, position, flip):
+        alice, bob = endpoints
+        wire = bytearray(alice.protect(body, bob.principal, secret=True))
+        position %= len(wire)
+        # Skip the timestamp's high bytes: corrupting them may produce a
+        # *stale* rejection rather than a MAC rejection -- both are
+        # rejections, so accept either error class.
+        wire[position] ^= flip
+        with pytest.raises(ReceiveError):
+            bob.unprotect(bytes(wire), alice.principal, secret=True)
+
+    @given(body=st.binary(min_size=0, max_size=128))
+    @settings(max_examples=30, deadline=None)
+    def test_truncated_wire_rejected(self, endpoints, body):
+        alice, bob = endpoints
+        wire = alice.protect(body, bob.principal, secret=True)
+        with pytest.raises(ReceiveError):
+            bob.unprotect(wire[: max(0, alice.header_size - 1)], alice.principal, secret=True)
+
+
+class TestHeaderProperties:
+    @given(
+        sfl=st.integers(min_value=0, max_value=2**64 - 1),
+        confounder=st.integers(min_value=0, max_value=2**32 - 1),
+        timestamp=st.integers(min_value=0, max_value=2**32 - 1),
+        mac=st.binary(min_size=16, max_size=16),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_header_codec_roundtrip(self, sfl, confounder, timestamp, mac):
+        from repro.core.config import AlgorithmSuite
+
+        suite = AlgorithmSuite()
+        header = FBSHeader(sfl=sfl, confounder=confounder, mac=mac, timestamp=timestamp)
+        decoded = FBSHeader.decode(header.encode(suite), suite)
+        assert decoded == header

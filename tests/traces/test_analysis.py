@@ -1,0 +1,132 @@
+"""Flow analysis tests: the statistics behind Figures 9-14."""
+
+import pytest
+
+from repro.netsim.addresses import FiveTuple, IPAddress
+from repro.traces.analysis import ActiveFlowSeries, FlowAnalysis, cdf, percentile
+from repro.traces.flowsim import FlowRecord
+from repro.traces.records import PacketRecord, Trace
+
+
+def rec(t, sport=1000, size=100):
+    return PacketRecord(
+        time=t,
+        five_tuple=FiveTuple(
+            proto=17,
+            saddr=IPAddress("10.0.0.1"),
+            sport=sport,
+            daddr=IPAddress("10.0.0.2"),
+            dport=53,
+        ),
+        size=size,
+    )
+
+
+class TestHelpers:
+    def test_cdf(self):
+        points = cdf([1, 2, 3, 4], [0, 2, 5])
+        assert points == [(0, 0.0), (2, 0.5), (5, 1.0)]
+
+    def test_cdf_empty(self):
+        assert cdf([], [1]) == [(1, 0.0)]
+
+    def test_percentile(self):
+        data = list(range(100))
+        assert percentile(data, 0.5) == 50
+        assert percentile(data, 0.0) == 0
+        assert percentile(data, 1.0) == 99
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+        with pytest.raises(ValueError):
+            percentile([1], 1.5)
+
+
+class TestFlowAnalysis:
+    def _analysis(self):
+        # Two flows on one tuple (split by a gap), one on another.
+        trace = Trace(
+            [rec(0.0), rec(10.0), rec(700.0), rec(0.5, sport=2), rec(1.0, sport=2)]
+        )
+        trace.sort()
+        return FlowAnalysis.from_trace(trace, threshold=600.0)
+
+    def test_flow_counts(self):
+        analysis = self._analysis()
+        assert analysis.total_flows == 3
+        assert analysis.repeated_flows == 1
+        assert analysis.unique_conversations == 2
+
+    def test_size_cdfs(self):
+        analysis = self._analysis()
+        packets_cdf = analysis.size_packets_cdf([1, 2, 10])
+        assert packets_cdf[-1][1] == 1.0
+        bytes_cdf = analysis.size_bytes_cdf([100, 500])
+        assert 0.0 <= bytes_cdf[0][1] <= 1.0
+
+    def test_duration_cdf(self):
+        analysis = self._analysis()
+        duration_cdf = analysis.duration_cdf([0.0, 5.0, 100.0])
+        assert duration_cdf[-1][1] == 1.0
+
+    def test_summary_keys(self):
+        summary = self._analysis().summary()
+        for key in ("flows", "repeated_flows", "median_packets", "median_duration"):
+            assert key in summary
+
+    def test_empty_summary(self):
+        analysis = FlowAnalysis([], threshold=600.0)
+        assert analysis.summary() == {"flows": 0}
+        assert analysis.bytes_carried_by_top_flows(0.1) == 0.0
+
+
+class TestActiveFlowSeries:
+    def test_counts_respect_threshold(self):
+        # One flow [0, 10]; active until 10 + threshold.
+        flows = [
+            FlowRecord(
+                five_tuple=rec(0.0).five_tuple,
+                sfl=0,
+                start=0.0,
+                end=10.0,
+                packets=2,
+                octets=200,
+                incarnation=0,
+            )
+        ]
+        analysis = FlowAnalysis(flows, threshold=100.0)
+        series = analysis.active_flow_series(sample_interval=5.0)
+        by_time = dict(zip(series.times, series.counts))
+        assert by_time[5.0] == 1
+        assert by_time[10.0] == 1  # still within threshold of last packet
+
+    def test_overlapping_flows_counted(self):
+        tuples = rec(0.0).five_tuple
+        flows = [
+            FlowRecord(tuples, 0, 0.0, 50.0, 5, 500, 0),
+            FlowRecord(tuples, 1, 10.0, 60.0, 5, 500, 1),
+        ]
+        analysis = FlowAnalysis(flows, threshold=10.0)
+        series = analysis.active_flow_series(sample_interval=10.0)
+        by_time = dict(zip(series.times, series.counts))
+        assert by_time[20.0] == 2
+
+    def test_stats(self):
+        series = ActiveFlowSeries(600.0, [0.0, 60.0], [3, 5])
+        assert series.peak == 5
+        assert series.mean == 4.0
+
+    def test_empty(self):
+        series = FlowAnalysis([], 600.0).active_flow_series()
+        assert series.times == [] and series.peak == 0 and series.mean == 0.0
+
+    def test_threshold_sweep_monotone_active(self):
+        # More THRESHOLD => flows stay active longer => counts rise (or
+        # at least never fall) at every sample, on a fixed flow log.
+        trace = Trace([rec(float(i) * 30.0, sport=1000 + i) for i in range(20)])
+        means = []
+        for threshold in (60.0, 300.0, 900.0):
+            analysis = FlowAnalysis.from_trace(trace, threshold=threshold)
+            means.append(analysis.active_flow_series(30.0).mean)
+        assert means == sorted(means)

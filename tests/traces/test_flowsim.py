@@ -1,0 +1,144 @@
+"""Flow simulator tests: exact tracking, table effects, cache replay."""
+
+import pytest
+
+from repro.crypto.crc import ModuloHash
+from repro.netsim.addresses import FiveTuple, IPAddress
+from repro.traces.flowsim import CacheSimulator, ExactFlowSimulator, TableFlowSimulator
+from repro.traces.records import PacketRecord, Trace
+
+
+def rec(t, sport=1000, dport=53, size=100, saddr="10.0.0.1", daddr="10.0.0.2"):
+    return PacketRecord(
+        time=t,
+        five_tuple=FiveTuple(
+            proto=17,
+            saddr=IPAddress(saddr),
+            sport=sport,
+            daddr=IPAddress(daddr),
+            dport=dport,
+        ),
+        size=size,
+    )
+
+
+class TestExactFlowSimulator:
+    def test_single_flow(self):
+        trace = Trace([rec(0.0), rec(1.0), rec(2.0)])
+        flows = ExactFlowSimulator(threshold=600.0).run(trace)
+        assert len(flows) == 1
+        flow = flows[0]
+        assert flow.packets == 3
+        assert flow.octets == 300
+        assert flow.duration == 2.0
+        assert flow.incarnation == 0
+
+    def test_gap_splits_flow(self):
+        trace = Trace([rec(0.0), rec(700.0)])
+        flows = ExactFlowSimulator(threshold=600.0).run(trace)
+        assert len(flows) == 2
+        assert flows[1].incarnation == 1  # a repeated flow
+
+    def test_gap_within_threshold_kept(self):
+        trace = Trace([rec(0.0), rec(599.0)])
+        flows = ExactFlowSimulator(threshold=600.0).run(trace)
+        assert len(flows) == 1
+
+    def test_distinct_tuples_distinct_flows(self):
+        trace = Trace([rec(0.0, sport=1), rec(0.1, sport=2)])
+        flows = ExactFlowSimulator().run(trace)
+        assert len(flows) == 2
+        assert flows[0].sfl != flows[1].sfl
+
+    def test_directionality(self):
+        # a->b and b->a are different flows (unidirectional).
+        trace = Trace(
+            [rec(0.0, saddr="10.0.0.1", daddr="10.0.0.2"),
+             rec(0.1, saddr="10.0.0.2", daddr="10.0.0.1")]
+        )
+        flows = ExactFlowSimulator().run(trace)
+        assert len(flows) == 2
+
+    def test_log_sorted_by_start(self):
+        trace = Trace([rec(0.0, sport=1), rec(5.0, sport=2), rec(6.0, sport=1)])
+        flows = ExactFlowSimulator().run(trace)
+        starts = [f.start for f in flows]
+        assert starts == sorted(starts)
+
+    def test_empty_trace(self):
+        assert ExactFlowSimulator().run(Trace()) == []
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            ExactFlowSimulator(threshold=0)
+
+
+class TestTableFlowSimulator:
+    def test_counters(self):
+        trace = Trace([rec(0.0), rec(1.0), rec(2.0, sport=2)])
+        sim = TableFlowSimulator(threshold=600.0, fst_size=64)
+        stats = sim.run(trace)
+        assert stats["lookups"] == 3
+        assert stats["new_flows"] == 2
+        assert stats["matches"] == 1
+
+    def test_small_table_collisions(self):
+        # Many conversations into a 2-slot table: collisions abound.
+        records = [rec(float(i), sport=1000 + i) for i in range(50)]
+        trace = Trace(records)
+        stats = TableFlowSimulator(fst_size=2).run(trace)
+        assert stats["collision_evictions"] > 0
+
+    def test_large_table_matches_exact(self):
+        records = [rec(float(i) * 0.5, sport=1000 + (i % 5)) for i in range(50)]
+        trace = Trace(records)
+        exact = ExactFlowSimulator(threshold=600.0).run(trace)
+        stats = TableFlowSimulator(threshold=600.0, fst_size=4096).run(trace)
+        assert stats["new_flows"] == len(exact)
+
+    def test_custom_hash(self):
+        trace = Trace([rec(0.0)])
+        sim = TableFlowSimulator(fst_size=8, index_hash=ModuloHash())
+        assert sim.run(trace)["new_flows"] == 1
+
+
+class TestCacheSimulator:
+    def _trace(self, conversations=10, packets_each=20):
+        records = []
+        for c in range(conversations):
+            for p in range(packets_each):
+                records.append(rec(c * 0.1 + p * 1.0, sport=1000 + c))
+        trace = Trace(records)
+        trace.sort()
+        return trace
+
+    def test_send_side_hits_dominate_with_big_cache(self):
+        trace = self._trace()
+        stats = CacheSimulator(256).send_side(trace, IPAddress("10.0.0.1"))
+        assert stats.lookups == 200
+        assert stats.misses == 10  # one cold miss per flow
+        assert stats.cold_misses == 10
+
+    def test_tiny_cache_thrashes(self):
+        trace = self._trace()
+        small = CacheSimulator(2).send_side(trace, IPAddress("10.0.0.1"))
+        big = CacheSimulator(256).send_side(trace, IPAddress("10.0.0.1"))
+        assert small.miss_rate > big.miss_rate
+
+    def test_receive_side_viewpoint(self):
+        trace = self._trace()
+        stats = CacheSimulator(256).receive_side(trace, IPAddress("10.0.0.2"))
+        assert stats.lookups == 200  # everything is destined to .2
+
+    def test_other_viewpoint_sees_nothing(self):
+        trace = self._trace()
+        stats = CacheSimulator(64).send_side(trace, IPAddress("10.0.0.99"))
+        assert stats.lookups == 0
+
+    def test_miss_rate_monotone_in_cache_size(self):
+        trace = self._trace(conversations=30, packets_each=10)
+        rates = [
+            CacheSimulator(size).send_side(trace, IPAddress("10.0.0.1")).miss_rate
+            for size in (2, 8, 32, 128)
+        ]
+        assert all(rates[i] >= rates[i + 1] - 1e-9 for i in range(len(rates) - 1))

@@ -1,0 +1,103 @@
+"""Trace container and codec tests."""
+
+import io
+
+import pytest
+
+from repro.netsim.addresses import FiveTuple, IPAddress
+from repro.traces import tcpdump
+from repro.traces.records import PacketRecord, Trace
+
+
+def rec(t=0.0, sport=1000, dport=53, proto=17, size=64, saddr="10.0.0.1", daddr="10.0.0.2"):
+    return PacketRecord(
+        time=t,
+        five_tuple=FiveTuple(
+            proto=proto,
+            saddr=IPAddress(saddr),
+            sport=sport,
+            daddr=IPAddress(daddr),
+            dport=dport,
+        ),
+        size=size,
+    )
+
+
+class TestPacketRecord:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rec(t=-1.0)
+        with pytest.raises(ValueError):
+            rec(size=-5)
+
+
+class TestTrace:
+    def test_sorting(self):
+        trace = Trace([rec(t=5.0), rec(t=1.0), rec(t=3.0)])
+        trace.sort()
+        assert [r.time for r in trace] == [1.0, 3.0, 5.0]
+
+    def test_duration_and_bytes(self):
+        trace = Trace([rec(t=1.0, size=10), rec(t=11.0, size=20)])
+        assert trace.duration == 10.0
+        assert trace.total_bytes == 30
+
+    def test_empty(self):
+        trace = Trace()
+        assert len(trace) == 0
+        assert trace.duration == 0.0
+
+    def test_hosts(self):
+        trace = Trace([rec(saddr="10.0.0.1", daddr="10.0.0.9")])
+        assert trace.hosts() == {IPAddress("10.0.0.1"), IPAddress("10.0.0.9")}
+
+    def test_filters(self):
+        trace = Trace(
+            [rec(saddr="10.0.0.1", daddr="10.0.0.2"), rec(saddr="10.0.0.2", daddr="10.0.0.1")]
+        )
+        assert len(trace.filter_sender(IPAddress("10.0.0.1"))) == 1
+        assert len(trace.filter_receiver(IPAddress("10.0.0.1"))) == 1
+
+    def test_merge(self):
+        a = Trace([rec(t=1.0), rec(t=3.0)])
+        b = Trace([rec(t=2.0)])
+        merged = a.merged_with(b)
+        assert [r.time for r in merged] == [1.0, 2.0, 3.0]
+
+    def test_indexing(self):
+        trace = Trace([rec(t=1.0), rec(t=2.0)])
+        assert trace[1].time == 2.0
+
+
+class TestTcpdumpCodec:
+    def test_format(self):
+        line = tcpdump.format_record(rec(t=17.25, sport=1024, dport=2049, proto=17, size=1460))
+        assert line == "17.250000 10.0.0.1.1024 > 10.0.0.2.2049: udp 1460"
+
+    def test_parse_roundtrip(self):
+        record = rec(t=3.5, sport=2000, dport=80, proto=6, size=512)
+        parsed = tcpdump.parse_line(tcpdump.format_record(record))
+        assert parsed == record
+
+    def test_parse_numeric_proto(self):
+        parsed = tcpdump.parse_line("1.0 10.0.0.1.1 > 10.0.0.2.2: 47 100")
+        assert parsed.five_tuple.proto == 47
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            tcpdump.parse_line("not a trace line")
+
+    def test_dump_load_roundtrip(self):
+        trace = Trace([rec(t=1.0), rec(t=2.0, proto=6)], description="test trace")
+        buffer = io.StringIO()
+        tcpdump.dump(trace, buffer)
+        buffer.seek(0)
+        loaded = tcpdump.load(buffer)
+        assert len(loaded) == 2
+        assert loaded.description == "test trace"
+        assert loaded[0] == trace[0]
+
+    def test_load_skips_blank_and_comments(self):
+        text = "# header\n\n1.0 10.0.0.1.1 > 10.0.0.2.2: udp 10\n"
+        loaded = tcpdump.load(io.StringIO(text))
+        assert len(loaded) == 1

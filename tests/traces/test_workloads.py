@@ -1,0 +1,104 @@
+"""Workload generator tests: determinism and the structural properties
+Figures 9-14 depend on."""
+
+import pytest
+
+from repro.netsim.ipv4 import IPProtocol
+from repro.traces.analysis import FlowAnalysis
+from repro.traces.workloads import CampusLanWorkload, WorkloadMix, WwwServerWorkload
+
+
+@pytest.fixture(scope="module")
+def lan_trace():
+    return CampusLanWorkload(duration=1800.0, clients=8, seed=7).generate()
+
+
+@pytest.fixture(scope="module")
+def www_trace():
+    return WwwServerWorkload(duration=1800.0, seed=8).generate()
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = CampusLanWorkload(duration=300.0, clients=3, seed=1).generate()
+        b = CampusLanWorkload(duration=300.0, clients=3, seed=1).generate()
+        assert len(a) == len(b)
+        assert all(x == y for x, y in zip(a, b))
+
+    def test_different_seed_different_trace(self):
+        a = CampusLanWorkload(duration=300.0, clients=3, seed=1).generate()
+        b = CampusLanWorkload(duration=300.0, clients=3, seed=2).generate()
+        assert any(x != y for x, y in zip(a, b)) or len(a) != len(b)
+
+
+class TestLanStructure:
+    def test_nonempty_and_ordered(self, lan_trace):
+        assert len(lan_trace) > 1000
+        times = [r.time for r in lan_trace]
+        assert times == sorted(times)
+
+    def test_within_duration(self, lan_trace):
+        assert all(0 <= r.time < 1800.0 for r in lan_trace)
+
+    def test_mixed_protocols(self, lan_trace):
+        protos = {r.five_tuple.proto for r in lan_trace}
+        assert IPProtocol.UDP in protos and IPProtocol.TCP in protos
+
+    def test_known_services_present(self, lan_trace):
+        ports = {r.five_tuple.dport for r in lan_trace}
+        assert 2049 in ports  # NFS
+        assert 53 in ports  # DNS
+
+    def test_majority_of_flows_are_short(self, lan_trace):
+        analysis = FlowAnalysis.from_trace(lan_trace, threshold=600.0)
+        summary = analysis.summary()
+        # "the majority of flows are short, consist of few packets and
+        # transfer only a small amount of data" (Figure 9): the median
+        # flow is orders of magnitude below the heavy tail.
+        assert summary["median_packets"] <= 20
+        assert summary["median_bytes"] <= 2000
+        assert summary["median_packets"] * 20 < summary["p90_packets"]
+
+    def test_few_heavy_flows_carry_bulk(self, lan_trace):
+        analysis = FlowAnalysis.from_trace(lan_trace, threshold=600.0)
+        # The top 10% of flows carry the overwhelming majority of bytes.
+        assert analysis.bytes_carried_by_top_flows(0.10) > 0.8
+
+    def test_repeated_flows_exist_at_small_threshold(self, lan_trace):
+        analysis = FlowAnalysis.from_trace(lan_trace, threshold=300.0)
+        assert analysis.repeated_flows > 0
+
+
+class TestWwwStructure:
+    def test_hit_rate_in_range(self, www_trace):
+        # ~10,000 hits/day = ~0.116/s: in 1800 s expect roughly 200 hits.
+        requests = [
+            r for r in www_trace
+            if r.five_tuple.dport == 80 and r.size < 600
+        ]
+        assert 100 <= len(requests) <= 400
+
+    def test_responses_dominate_bytes(self, www_trace):
+        to_server = sum(r.size for r in www_trace if r.five_tuple.dport == 80)
+        from_server = sum(r.size for r in www_trace if r.five_tuple.sport == 80)
+        assert from_server > 5 * to_server
+
+    def test_many_distinct_clients(self, www_trace):
+        clients = {r.five_tuple.saddr for r in www_trace if r.five_tuple.dport == 80}
+        assert len(clients) > 20
+
+
+class TestMix:
+    def test_merged_trace_ordered(self):
+        mix = WorkloadMix(
+            CampusLanWorkload(duration=300.0, clients=2, seed=3),
+            WwwServerWorkload(duration=300.0, seed=4),
+        )
+        trace = mix.generate()
+        times = [r.time for r in trace]
+        assert times == sorted(times)
+        assert len(trace) > 0
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadMix()
