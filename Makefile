@@ -2,13 +2,22 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench examples reports clean
+# Run against the source tree directly (the ROADMAP tier-1 command);
+# no editable install needed.
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: install test lint bench examples reports clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
-	$(PYTHON) -m pytest tests/
+	$(PYTHON) -m pytest -x -q
+
+# fbslint: the AST-based protocol-invariant analyzer (FBS001-FBS007).
+# Exit codes: 0 clean, 1 findings, 2 usage/analysis error.
+lint:
+	$(PYTHON) -m repro.analysis src
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,45 @@
+"""fbslint: static enforcement of the FBS security invariants.
+
+The paper's security argument rests on properties the rest of this
+repository upholds by convention -- constant-time MAC compares, typed
+receive errors with metrics, seeded randomness, a virtual-time netsim,
+the 32-byte header layout.  *Knowledge Flow Analysis for Security
+Protocols* (Torlak et al., PAPERS.md) makes the case for checking such
+flow properties mechanically; this package is that check for our tree,
+as a small AST rule framework plus seven domain rules (FBS001-FBS007).
+
+Run it as ``python -m repro.analysis [paths]`` (see
+:mod:`repro.analysis.cli` for the exit-code contract) or through
+``make lint``.  DESIGN.md's "Enforced invariants" section documents
+each rule and how to suppress a false positive.
+"""
+
+from repro.analysis.base import Rule, all_rules, get_rule, register
+from repro.analysis.baseline import Baseline
+from repro.analysis.context import ModuleContext
+from repro.analysis.engine import (
+    LintError,
+    LintResult,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.suppressions import SuppressionIndex
+
+__all__ = [
+    "Rule",
+    "register",
+    "all_rules",
+    "get_rule",
+    "Baseline",
+    "ModuleContext",
+    "LintError",
+    "LintResult",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "Finding",
+    "Severity",
+    "SuppressionIndex",
+]

@@ -1,0 +1,62 @@
+"""The checked-in baseline of grandfathered findings.
+
+A baseline lets fbslint land with a hard exit-code contract even while
+old findings are being burned down: entries in the file absorb matching
+findings (same path, rule, and message fingerprint -- line numbers are
+deliberately not part of the match, so unrelated edits don't invalidate
+the baseline).  New findings still fail the run.  ``--write-baseline``
+regenerates the file; an empty file means the tree is clean.
+
+Format: one entry per line, ``path|rule_id|fingerprint|message``; ``#``
+comments and blank lines are ignored.  The trailing message is for the
+human reading the diff -- only the first three fields match.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Set, Tuple
+
+from repro.analysis.findings import Finding
+
+__all__ = ["Baseline"]
+
+_HEADER = """\
+# fbslint baseline -- grandfathered findings (see DESIGN.md, "Enforced
+# invariants").  Each line: path|rule|fingerprint|message.  An empty
+# baseline means the tree is clean; new findings always fail the run.
+# Regenerate with: python -m repro.analysis --write-baseline src
+"""
+
+
+class Baseline:
+    """Set of grandfathered findings, keyed line-number-free."""
+
+    def __init__(self, entries: Iterable[Tuple[str, str, str]] = ()) -> None:
+        #: (path, rule_id, fingerprint) triples.
+        self.entries: Set[Tuple[str, str, str]] = set(entries)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        entries = []
+        for raw in path.read_text(encoding="utf-8").splitlines():
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split("|", 3)
+            if len(fields) < 3:
+                raise ValueError(f"{path}: malformed baseline line: {raw!r}")
+            entries.append((fields[0], fields[1], fields[2]))
+        return cls(entries)
+
+    def absorbs(self, finding: Finding) -> bool:
+        return (finding.path, finding.rule_id, finding.fingerprint) in self.entries
+
+    @staticmethod
+    def write(path: Path, findings: List[Finding]) -> None:
+        """Serialize ``findings`` as the new baseline."""
+        lines = [_HEADER]
+        for f in sorted(findings, key=lambda f: (f.path, f.rule_id, f.line)):
+            message = f.message.replace("|", "/").replace("\n", " ")
+            lines.append(f"{f.path}|{f.rule_id}|{f.fingerprint}|{message}\n")
+        path.write_text("".join(lines), encoding="utf-8")

@@ -1,0 +1,177 @@
+"""The fbslint command line: ``python -m repro.analysis [paths]``.
+
+Exit-code contract (relied on by CI and ``make lint``):
+
+* **0** -- no findings (inline-suppressed and baselined ones excluded);
+* **1** -- at least one finding;
+* **2** -- usage or analysis error (unknown rule, unreadable path,
+  syntax error in a scanned file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.base import all_rules
+from repro.analysis.baseline import Baseline
+from repro.analysis.engine import LintError, lint_paths
+
+__all__ = ["main"]
+
+_DEFAULT_BASELINE = "fbslint.baseline"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "fbslint: AST-based checks for the FBS security invariants "
+            "(key secrecy, determinism, header layout, error discipline)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help=(
+            f"baseline file of grandfathered findings (default: "
+            f"./{_DEFAULT_BASELINE} when it exists)"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline file with the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule with its severity and description, then exit",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="print findings only, no summary line",
+    )
+    return parser
+
+
+def _list_rules(out) -> None:
+    for rule in all_rules():
+        print(
+            f"{rule.rule_id}  {rule.name:<24} [{rule.severity}] "
+            f"{rule.description}",
+            file=out,
+        )
+
+
+def _split(value: Optional[str]) -> Optional[List[str]]:
+    if value is None:
+        return None
+    return [item.strip() for item in value.split(",") if item.strip()]
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    out = out or sys.stdout
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        _list_rules(out)
+        return 0
+
+    baseline_path: Optional[Path] = None
+    if args.baseline is not None:
+        baseline_path = Path(args.baseline)
+    elif Path(_DEFAULT_BASELINE).exists():
+        baseline_path = Path(_DEFAULT_BASELINE)
+
+    baseline = None
+    if baseline_path is not None and not args.write_baseline:
+        if not baseline_path.exists():
+            print(f"error: baseline file not found: {baseline_path}", file=out)
+            return 2
+        try:
+            baseline = Baseline.load(baseline_path)
+        except ValueError as exc:
+            print(f"error: {exc}", file=out)
+            return 2
+
+    try:
+        result = lint_paths(
+            [Path(p) for p in args.paths],
+            root=Path.cwd(),
+            select=_split(args.select),
+            ignore=_split(args.ignore),
+            baseline=baseline,
+        )
+    except LintError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+
+    if args.write_baseline:
+        target = baseline_path or Path(_DEFAULT_BASELINE)
+        Baseline.write(target, result.findings)
+        print(
+            f"wrote {len(result.findings)} baseline entr"
+            f"{'y' if len(result.findings) == 1 else 'ies'} to {target}",
+            file=out,
+        )
+        return 0
+
+    if args.format == "json":
+        json.dump(
+            {
+                "findings": [f.as_dict() for f in result.findings],
+                "baselined": [f.as_dict() for f in result.baselined],
+                "suppressed": result.suppressed,
+                "files_checked": result.files_checked,
+            },
+            out,
+            indent=2,
+        )
+        print(file=out)
+    else:
+        for finding in result.findings:
+            print(finding.render(), file=out)
+        if not args.quiet:
+            summary = (
+                f"fbslint: {len(result.findings)} finding"
+                f"{'' if len(result.findings) == 1 else 's'} in "
+                f"{result.files_checked} files"
+            )
+            if result.baselined:
+                summary += f" ({len(result.baselined)} baselined)"
+            if result.suppressed:
+                summary += f" ({result.suppressed} suppressed inline)"
+            print(summary, file=out)
+
+    return result.exit_code

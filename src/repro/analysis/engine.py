@@ -1,0 +1,166 @@
+"""The fbslint engine: discover files, run rules, filter, report.
+
+The engine is a library first (``lint_source`` / ``lint_paths``) so the
+test suite can aim individual rules at fixture files; the CLI in
+:mod:`repro.analysis.cli` is a thin argparse wrapper over
+:func:`lint_paths`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from repro.analysis.base import Rule, all_rules
+from repro.analysis.baseline import Baseline
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.suppressions import SuppressionIndex
+
+__all__ = ["LintError", "LintResult", "lint_source", "lint_file", "lint_paths"]
+
+#: Directory names never descended into during discovery.
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
+
+
+class LintError(Exception):
+    """A file could not be analyzed (unreadable or unparsable)."""
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    #: Findings that fail the run (not suppressed, not baselined).
+    findings: List[Finding] = field(default_factory=list)
+    #: Findings absorbed by the baseline file.
+    baselined: List[Finding] = field(default_factory=list)
+    #: Count silenced by inline ``# fbslint: disable`` comments.
+    suppressed: int = 0
+    files_checked: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        """The CI contract: 0 clean, 1 findings."""
+        return 1 if self.findings else 0
+
+    def extend(self, other: "LintResult") -> None:
+        self.findings.extend(other.findings)
+        self.baselined.extend(other.baselined)
+        self.suppressed += other.suppressed
+        self.files_checked += other.files_checked
+
+
+def _select_rules(
+    select: Optional[Iterable[str]], ignore: Optional[Iterable[str]]
+) -> List[Rule]:
+    rules = all_rules()
+    if select:
+        wanted = {r.upper() for r in select}
+        unknown = wanted - {r.rule_id for r in rules}
+        if unknown:
+            raise LintError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+        rules = [r for r in rules if r.rule_id in wanted]
+    if ignore:
+        dropped = {r.upper() for r in ignore}
+        rules = [r for r in rules if r.rule_id not in dropped]
+    return rules
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    logical_path: Optional[str] = None,
+    rules: Optional[Sequence[Rule]] = None,
+    baseline: Optional[Baseline] = None,
+) -> LintResult:
+    """Run rules over one module's source text.
+
+    ``logical_path`` overrides package scoping -- the fixture tests use
+    it to make a file under ``tests/`` impersonate, say,
+    ``src/repro/core/protocol.py``.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise LintError(f"{path}:{exc.lineno}: syntax error: {exc.msg}") from exc
+    ctx = ModuleContext(
+        path=path, logical_path=logical_path or path, tree=tree, source=source
+    )
+    suppressions = SuppressionIndex(source)
+    result = LintResult(files_checked=1)
+    for rule in rules if rules is not None else all_rules():
+        for finding in rule.check(ctx):
+            if suppressions.suppresses(finding):
+                result.suppressed += 1
+            elif baseline is not None and baseline.absorbs(finding):
+                result.baselined.append(finding)
+            else:
+                result.findings.append(finding)
+    result.findings.sort(key=lambda f: (f.path, f.line, f.rule_id))
+    return result
+
+
+def lint_file(
+    path: Path,
+    root: Optional[Path] = None,
+    rules: Optional[Sequence[Rule]] = None,
+    baseline: Optional[Baseline] = None,
+    logical_path: Optional[str] = None,
+) -> LintResult:
+    """Lint one file; paths in findings are relative to ``root``."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise LintError(f"cannot read {path}: {exc}") from exc
+    report_path = path
+    if root is not None:
+        try:
+            report_path = path.resolve().relative_to(root.resolve())
+        except ValueError:
+            report_path = path
+    return lint_source(
+        source,
+        path=str(report_path),
+        logical_path=logical_path or str(path),
+        rules=rules,
+        baseline=baseline,
+    )
+
+
+def discover(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into the sorted list of ``.py`` files."""
+    found: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    found.append(candidate)
+        elif path.suffix == ".py":
+            found.append(path)
+        elif not path.exists():
+            raise LintError(f"no such path: {path}")
+    return found
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    root: Optional[Path] = None,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    baseline: Optional[Baseline] = None,
+) -> LintResult:
+    """Lint every python file under ``paths``."""
+    rules = _select_rules(select, ignore)
+    root = root or Path.cwd()
+    total = LintResult()
+    for file_path in discover(paths):
+        total.extend(
+            lint_file(file_path, root=root, rules=rules, baseline=baseline)
+        )
+    total.findings.sort(
+        key=lambda f: (-int(f.severity), f.path, f.line, f.rule_id)
+    )
+    return total

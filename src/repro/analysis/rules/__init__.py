@@ -1,0 +1,23 @@
+"""Built-in fbslint rules.
+
+Importing this package registers every rule with
+:mod:`repro.analysis.base`.  Each module groups the rules guarding one
+discipline:
+
+* :mod:`~repro.analysis.rules.taint` -- FBS001 secret-flow taint;
+* :mod:`~repro.analysis.rules.determinism` -- FBS002 wall clock,
+  FBS003 seeded randomness;
+* :mod:`~repro.analysis.rules.robustness` -- FBS004 assert-as-guard,
+  FBS007 exception taxonomy;
+* :mod:`~repro.analysis.rules.layout` -- FBS005 header layout;
+* :mod:`~repro.analysis.rules.metrics_discipline` -- FBS006
+  metrics-before-raise.
+"""
+
+from repro.analysis.rules import (  # noqa: F401  (imports register rules)
+    determinism,
+    layout,
+    metrics_discipline,
+    robustness,
+    taint,
+)

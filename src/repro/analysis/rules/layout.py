@@ -1,0 +1,266 @@
+"""FBS005: the wire codec must agree with the declared header layout.
+
+The paper's IP mapping (Section 7.2) fixes the security flow header at
+**sfl 64 bits | confounder 32 | MAC 128 (default suite) | timestamp
+32** -- 32 bytes.  ``core/header.py`` encodes those widths three ways
+that can silently drift apart: struct format strings, the
+``FBS_HEADER_LEN`` constant, and manual ``offset`` arithmetic.  This
+rule cross-checks all three against the declared layout in any module
+that defines ``FBSHeader`` or ``FBS_HEADER_LEN``:
+
+* a struct item packing/unpacking a field named ``sfl`` must be 8
+  bytes, ``confounder`` 4, ``timestamp`` 4;
+* ``FBS_HEADER_LEN`` must evaluate to 8 + 4 + 16 + 4 = 32;
+* an ``offset += N`` immediately following a ``struct.unpack_from(fmt,
+  ...)`` must have ``N == calcsize(fmt)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.base import Rule, register, walk_statements
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding, Severity
+
+__all__ = ["HeaderLayoutRule"]
+
+#: Declared field widths in bytes (paper SS3 / SS7.2, default suite).
+_FIELD_BYTES = {"sfl": 8, "confounder": 4, "timestamp": 4}
+_MAC_BYTES_DEFAULT = 16
+_EXPECTED_HEADER_LEN = 8 + 4 + _MAC_BYTES_DEFAULT + 4
+
+_STRUCT_ITEM_SIZE = {
+    "x": 1, "c": 1, "b": 1, "B": 1, "?": 1,
+    "h": 2, "H": 2, "e": 2,
+    "i": 4, "I": 4, "l": 4, "L": 4, "f": 4,
+    "q": 8, "Q": 8, "d": 8, "n": 8, "N": 8,
+}
+
+
+def _parse_format(fmt: str) -> Optional[List[int]]:
+    """Byte size of each item in a struct format string.
+
+    Returns ``None`` for formats this rule does not model (strings,
+    padding repeats) -- those are skipped, not flagged.
+    """
+    if fmt and fmt[0] in "@=<>!":
+        fmt = fmt[1:]
+    sizes: List[int] = []
+    repeat = ""
+    for ch in fmt:
+        if ch.isdigit():
+            repeat += ch
+            continue
+        if ch.isspace():
+            continue
+        if ch not in _STRUCT_ITEM_SIZE or ch in ("s", "p"):
+            return None
+        count = int(repeat) if repeat else 1
+        repeat = ""
+        sizes.extend([_STRUCT_ITEM_SIZE[ch]] * count)
+    return sizes if not repeat else None
+
+
+def _const_int(node: ast.AST) -> Optional[int]:
+    """Evaluate an integer constant expression (+, -, *)."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return node.value
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.Add, ast.Sub, ast.Mult)
+    ):
+        left, right = _const_int(node.left), _const_int(node.right)
+        if left is None or right is None:
+            return None
+        if isinstance(node.op, ast.Add):
+            return left + right
+        if isinstance(node.op, ast.Sub):
+            return left - right
+        return left * right
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        value = _const_int(node.operand)
+        return -value if value is not None else None
+    return None
+
+
+def _field_name(node: ast.AST) -> Optional[str]:
+    """Trailing identifier of a struct argument or unpack target."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _struct_call(node: ast.AST) -> Optional[Tuple[str, ast.Call]]:
+    """``(method, call)`` when ``node`` is ``struct.<method>(Constant, ...)``."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "struct"
+        and node.args
+        and isinstance(node.args[0], ast.Constant)
+        and isinstance(node.args[0].value, str)
+    ):
+        return func.attr, node
+    return None
+
+
+@register
+class HeaderLayoutRule(Rule):
+    rule_id = "FBS005"
+    name = "header-layout"
+    severity = Severity.ERROR
+    description = (
+        "struct pack/unpack widths, FBS_HEADER_LEN, and offset arithmetic "
+        "must agree with the declared sfl/confounder/MAC/timestamp layout "
+        "(64/32/128/32 bits)"
+    )
+    rationale = "paper SS3, SS7.2: the 32-byte security flow header"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not self._applies(ctx.tree):
+            return
+        # Build the unpack-call -> target-names map (and offset findings)
+        # before the width checks that consume the map.
+        offset_findings = list(self._check_offset_arithmetic(ctx))
+        yield from self._check_header_len(ctx)
+        yield from self._check_struct_widths(ctx)
+        yield from offset_findings
+
+    @staticmethod
+    def _applies(tree: ast.Module) -> bool:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and node.name == "FBSHeader":
+                return True
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and target.id == "FBS_HEADER_LEN":
+                        return True
+        return False
+
+    def _check_header_len(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if not (
+                    isinstance(target, ast.Name) and target.id == "FBS_HEADER_LEN"
+                ):
+                    continue
+                value = _const_int(node.value)
+                if value is not None and value != _EXPECTED_HEADER_LEN:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"FBS_HEADER_LEN is {value} but the declared layout "
+                        f"(8B sfl + 4B confounder + {_MAC_BYTES_DEFAULT}B MAC "
+                        f"+ 4B timestamp) is {_EXPECTED_HEADER_LEN}",
+                    )
+
+    def _check_struct_widths(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            hit = _struct_call(node)
+            if hit is None:
+                continue
+            method, call = hit
+            fmt = call.args[0].value
+            sizes = _parse_format(fmt)
+            if sizes is None:
+                continue
+            if method in ("pack", "pack_into"):
+                # Field values follow the format (and the buffer/offset
+                # for pack_into).
+                values = call.args[1:] if method == "pack" else call.args[3:]
+                yield from self._match_fields(ctx, call, fmt, sizes, values)
+            elif method in ("unpack", "unpack_from"):
+                yield from self._match_unpack_targets(ctx, call, fmt, sizes)
+
+    def _match_fields(
+        self,
+        ctx: ModuleContext,
+        call: ast.Call,
+        fmt: str,
+        sizes: List[int],
+        values: List[ast.AST],
+    ) -> Iterator[Finding]:
+        if len(values) != len(sizes):
+            return
+        for size, value in zip(sizes, values):
+            name = _field_name(value)
+            want = _FIELD_BYTES.get(name or "")
+            if want is not None and size != want:
+                yield self.finding(
+                    ctx,
+                    call,
+                    f"struct format {fmt!r} gives field '{name}' {size} "
+                    f"bytes; the declared layout says {want} "
+                    f"({want * 8} bits)",
+                )
+
+    def _match_unpack_targets(
+        self, ctx: ModuleContext, call: ast.Call, fmt: str, sizes: List[int]
+    ) -> Iterator[Finding]:
+        # Find the assignment this unpack feeds, to name the fields.
+        targets = self._unpack_targets.get(id(call))
+        if targets is None or len(targets) != len(sizes):
+            return
+        for size, name in zip(sizes, targets):
+            want = _FIELD_BYTES.get(name or "")
+            if want is not None and size != want:
+                yield self.finding(
+                    ctx,
+                    call,
+                    f"struct format {fmt!r} reads field '{name}' as {size} "
+                    f"bytes; the declared layout says {want} "
+                    f"({want * 8} bits)",
+                )
+
+    def _check_offset_arithmetic(self, ctx: ModuleContext) -> Iterator[Finding]:
+        # Also build the unpack-call -> target-names map used above.
+        self._unpack_targets: Dict[int, List[Optional[str]]] = {}
+        pending: List[Finding] = []
+        for block in walk_statements(ctx.tree.body):
+            for i, stmt in enumerate(block):
+                if not isinstance(stmt, ast.Assign):
+                    continue
+                hit = _struct_call(stmt.value)
+                if hit is None or hit[0] not in ("unpack", "unpack_from"):
+                    continue
+                call = hit[1]
+                target = stmt.targets[0]
+                if isinstance(target, ast.Tuple):
+                    self._unpack_targets[id(call)] = [
+                        _field_name(elt) for elt in target.elts
+                    ]
+                elif isinstance(target, ast.Name):
+                    self._unpack_targets[id(call)] = [target.id]
+                sizes = _parse_format(call.args[0].value)
+                if sizes is None:
+                    continue
+                # offset += N directly after the unpack must match calcsize.
+                if i + 1 < len(block):
+                    nxt = block[i + 1]
+                    if (
+                        isinstance(nxt, ast.AugAssign)
+                        and isinstance(nxt.op, ast.Add)
+                        and isinstance(nxt.target, ast.Name)
+                        and nxt.target.id == "offset"
+                    ):
+                        bump = _const_int(nxt.value)
+                        if bump is not None and bump != sum(sizes):
+                            pending.append(
+                                self.finding(
+                                    ctx,
+                                    nxt,
+                                    f"offset advances by {bump} after "
+                                    f"unpacking {call.args[0].value!r} "
+                                    f"({sum(sizes)} bytes) -- the cursor "
+                                    "and the format disagree",
+                                )
+                            )
+        yield from pending

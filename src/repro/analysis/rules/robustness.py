@@ -1,0 +1,158 @@
+"""FBS004/FBS007: failures must be loud and typed.
+
+* **FBS004** -- ``assert`` compiles away under ``python -O``, so a
+  guard written as an assert silently stops guarding in optimized
+  deployments.  Library code in ``src/repro`` must raise explicit,
+  typed errors; test code keeps its asserts.
+* **FBS007** -- the exception taxonomy: public FBS protocol entry
+  points raise :class:`repro.core.errors.FBSError` subclasses only, so
+  callers can write one ``except FBSError`` and mean it; and nowhere in
+  the tree may a bare ``except:`` or an ``except Exception: pass``
+  swallow a failure.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set, Tuple
+
+from repro.analysis.base import Rule, register
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding, Severity
+
+__all__ = ["NoAssertRule", "ExceptionTaxonomyRule"]
+
+#: Modules whose public functions form the FBS protocol API surface.
+_PUBLIC_PROTOCOL_MODULES: Set[Tuple[str, ...]] = {
+    ("repro", "core", "protocol"),
+}
+
+#: The known FBS exception taxonomy (repro.core.errors) -- the only
+#: things a public protocol entry point may raise.
+_TAXONOMY = {
+    "FBSError",
+    "ReceiveError",
+    "StaleTimestampError",
+    "MacMismatchError",
+    "HeaderFormatError",
+    "UnknownPrincipalError",
+    "ScenarioError",
+}
+
+_BUILTIN_EXCEPTIONS = {
+    "Exception",
+    "BaseException",
+    "RuntimeError",
+    "ValueError",
+    "TypeError",
+    "KeyError",
+    "IndexError",
+    "AttributeError",
+    "OSError",
+    "IOError",
+    "ArithmeticError",
+    "ZeroDivisionError",
+    "StopIteration",
+    "AssertionError",
+    "NotImplementedError",
+}
+
+
+def _raised_name(node: ast.Raise) -> Optional[str]:
+    """The exception class name of ``raise X(...)`` / ``raise X``."""
+    exc = node.exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Attribute):
+        return exc.attr
+    if isinstance(exc, ast.Name):
+        return exc.id
+    return None
+
+
+@register
+class NoAssertRule(Rule):
+    rule_id = "FBS004"
+    name = "no-assert-in-library"
+    severity = Severity.ERROR
+    description = (
+        "assert statements vanish under python -O; library guards must be "
+        "explicit raise statements with typed errors"
+    )
+    rationale = "guards in src/repro must survive optimized runs (tests excluded)"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.is_test_code:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assert):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "assert used as a guard in library code; it disappears "
+                    "under python -O -- raise a typed error instead",
+                )
+
+
+@register
+class ExceptionTaxonomyRule(Rule):
+    rule_id = "FBS007"
+    name = "exception-taxonomy"
+    severity = Severity.WARNING
+    description = (
+        "no bare except / except-Exception-pass anywhere; public protocol "
+        "entry points raise FBSError subclasses only"
+    )
+    rationale = "callers rely on 'except FBSError' catching every protocol failure"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler):
+                yield from self._check_handler(ctx, node)
+        if ctx.module_parts in _PUBLIC_PROTOCOL_MODULES:
+            yield from self._check_public_raises(ctx)
+
+    def _check_handler(
+        self, ctx: ModuleContext, node: ast.ExceptHandler
+    ) -> Iterator[Finding]:
+        if node.type is None:
+            yield self.finding(
+                ctx,
+                node,
+                "bare 'except:' catches SystemExit/KeyboardInterrupt too; "
+                "name the exception (an FBSError subclass where applicable)",
+            )
+            return
+        broad = (
+            isinstance(node.type, ast.Name)
+            and node.type.id in ("Exception", "BaseException")
+        )
+        swallows = all(isinstance(stmt, ast.Pass) for stmt in node.body)
+        if broad and swallows:
+            yield self.finding(
+                ctx,
+                node,
+                f"'except {node.type.id}: pass' silently swallows every "
+                "failure; narrow the type or handle the error",
+            )
+
+    def _check_public_raises(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ) or node.name.startswith("_"):
+                continue
+            for inner in ast.walk(node):
+                if not isinstance(inner, ast.Raise):
+                    continue
+                name = _raised_name(inner)
+                if name is None or name in _TAXONOMY:
+                    continue
+                if name in _BUILTIN_EXCEPTIONS:
+                    yield self.finding(
+                        ctx,
+                        inner,
+                        f"public protocol entry point '{node.name}' raises "
+                        f"{name}; the protocol API raises FBSError "
+                        "subclasses only (repro.core.errors)",
+                    )

@@ -1,0 +1,69 @@
+"""Inline suppression comments.
+
+Three forms, mirroring the linters this codebase's contributors know:
+
+* ``# fbslint: disable=FBS001,FBS004`` -- suppress on this line;
+* ``# fbslint: disable-next-line=FBS002`` -- suppress on the following
+  line (for lines too long to carry a trailing comment);
+* ``# fbslint: disable-file=FBS004`` -- anywhere in the file, suppress
+  the rule for the whole module.
+
+``disable=all`` suppresses every rule at that granularity.  Suppressions
+are parsed from the token stream, so a violating *string* containing the
+magic text does not suppress anything.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, Set
+
+from repro.analysis.findings import Finding
+
+__all__ = ["SuppressionIndex"]
+
+_DIRECTIVE = re.compile(
+    r"#\s*fbslint:\s*(disable(?:-next-line|-file)?)\s*=\s*([A-Za-z0-9_,\s]+)"
+)
+
+
+class SuppressionIndex:
+    """All fbslint directives of one source file, queryable per finding."""
+
+    def __init__(self, source: str) -> None:
+        #: line number -> rule ids suppressed on that line ("all" wildcard).
+        self.by_line: Dict[int, Set[str]] = {}
+        self.file_wide: Set[str] = set()
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            comments = [
+                (tok.start[0], tok.string)
+                for tok in tokens
+                if tok.type == tokenize.COMMENT
+            ]
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            comments = []
+        for line, text in comments:
+            match = _DIRECTIVE.search(text)
+            if not match:
+                continue
+            kind = match.group(1)
+            rules = {
+                r.strip().upper() if r.strip() != "all" else "all"
+                for r in match.group(2).split(",")
+                if r.strip()
+            }
+            if kind == "disable-file":
+                self.file_wide |= rules
+            elif kind == "disable-next-line":
+                self.by_line.setdefault(line + 1, set()).update(rules)
+            else:
+                self.by_line.setdefault(line, set()).update(rules)
+
+    def suppresses(self, finding: Finding) -> bool:
+        for pool in (self.file_wide, self.by_line.get(finding.line, ())):
+            if "all" in pool or finding.rule_id in pool:
+                return True
+        return False

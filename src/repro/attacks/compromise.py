@@ -23,6 +23,7 @@ from typing import Dict, List
 
 from repro.attacks.adversary import OnPathAdversary
 from repro.core.deploy import FBSDomain
+from repro.core.errors import ScenarioError
 from repro.core.header import FBSHeader
 from repro.core.keying import KeyDerivation, Principal
 from repro.crypto.des import DES
@@ -68,7 +69,11 @@ def _traffic(net, alice, bob, flows: int, datagrams_per_flow: int) -> None:
             )
     net.sim.run()
     for inbox in inboxes:
-        assert len(inbox.received) == datagrams_per_flow
+        if len(inbox.received) != datagrams_per_flow:
+            raise ScenarioError(
+                f"inbox on port {inbox.port} received {len(inbox.received)} "
+                f"datagrams, expected {datagrams_per_flow}"
+            )
 
 
 def _decrypts(key: bytes, iv: bytes, body: bytes) -> bool:

@@ -22,6 +22,7 @@ from typing import Optional
 
 from repro.attacks.adversary import OnPathAdversary
 from repro.core.deploy import FBSDomain
+from repro.core.errors import ScenarioError
 from repro.core.keying import Principal
 from repro.netsim.ipv4 import IPProtocol, IPv4Packet
 from repro.netsim.network import Network
@@ -72,7 +73,11 @@ def _send_two(net, alice, bob):
     tx_public.sendto(PUBLIC, bob.address, 6001)
     tx_secret.sendto(SECRET, bob.address, 6002)
     net.sim.run()
-    assert public_inbox.received and secret_inbox.received
+    if not (public_inbox.received and secret_inbox.received):
+        raise ScenarioError(
+            "setup traffic was not delivered: the splice needs both the "
+            "public and the secret datagram on the wire"
+        )
     return public_inbox
 
 

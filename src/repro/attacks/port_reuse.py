@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from repro.attacks.adversary import OnPathAdversary
 from repro.core.config import FBSConfig
 from repro.core.deploy import FBSDomain
+from repro.core.errors import ScenarioError
 from repro.netsim.network import Network
 from repro.netsim.sockets import UdpSocket
 
@@ -71,7 +72,11 @@ def run_port_reuse_attack(
     sender = UdpSocket(alice)
     sender.sendto(SECRET, bob.address, 5151)
     net.sim.run()
-    assert victim.received and victim.received[0][0] == SECRET
+    if not victim.received or victim.received[0][0] != SECRET:
+        raise ScenarioError(
+            "the victim never received the sensitive datagram; nothing to "
+            "record and replay"
+        )
     victim.close()
 
     # The local attacker process grabs the port "right after the

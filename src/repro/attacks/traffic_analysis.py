@@ -27,6 +27,7 @@ from typing import Dict, List, Set, Tuple
 from repro.attacks.adversary import OnPathAdversary
 from repro.core.config import AlgorithmSuite
 from repro.core.deploy import FBSDomain
+from repro.core.errors import ScenarioError
 from repro.core.header import FBSHeader
 from repro.core.ip_mapping import CERTIFICATE_PORT
 from repro.netsim.ipv4 import IPProtocol, IPv4Packet
@@ -136,7 +137,11 @@ def run_traffic_analysis(scheme: str, conversations: int = 4, datagrams_each: in
         for i, sender in enumerate(senders):
             sender.sendto(SECRET_BODY + b"#%d" % round_, bob.address, 6000 + i)
     net.sim.run()
-    assert all(len(inbox.received) == datagrams_each for inbox in inboxes)
+    if not all(len(inbox.received) == datagrams_each for inbox in inboxes):
+        raise ScenarioError(
+            "workload traffic was not fully delivered; the capture would "
+            "not reflect the intended conversation structure"
+        )
 
     data_hosts = {str(alice.address), str(bob.address)}
     if scheme == "fbs-gateway":

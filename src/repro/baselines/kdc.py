@@ -69,7 +69,11 @@ class KeyDistributionCenter:
         self.tickets_issued += 1
         plaintext = session_key + source.to_bytes() + struct.pack(">I", expiry)
         ticket = encrypt_cbc(DES(dest_secret), b"\x00" * 8, plaintext)
-        assert len(ticket) == _TICKET_LEN
+        if len(ticket) != _TICKET_LEN:
+            raise ValueError(
+                f"ticket encrypted to {len(ticket)} bytes, expected "
+                f"{_TICKET_LEN}; the wire format pads to a fixed width"
+            )
         return session_key, ticket
 
 

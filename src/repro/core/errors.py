@@ -9,6 +9,7 @@ __all__ = [
     "MacMismatchError",
     "UnknownPrincipalError",
     "HeaderFormatError",
+    "ScenarioError",
 ]
 
 
@@ -35,3 +36,10 @@ class HeaderFormatError(ReceiveError):
 
 class UnknownPrincipalError(FBSError):
     """No public value certificate could be obtained for a principal."""
+
+
+class ScenarioError(FBSError):
+    """An attack/evaluation scenario did not reach its expected state
+    (e.g. traffic that must be delivered before the attack was lost).
+    Raised explicitly so the guard survives ``python -O`` (fbslint
+    FBS004)."""

@@ -1,0 +1,20 @@
+"""Violating fixture for FBS001: key material reaches every banned sink.
+
+Linted as if it lived at ``src/repro/core/session.py``.
+"""
+
+# fbslint: module=repro.core.session
+import logging
+
+log = logging.getLogger(__name__)
+
+
+def leak(kdf, sfl, master, src, dst, header_mac):
+    flow_key = kdf.flow_key(sfl, master, src, dst)
+    print(flow_key)  # leak: key printed
+    label = f"key={flow_key!r}"  # leak: key in an f-string
+    log.debug("derived %s", flow_key)  # leak: key logged
+    enc = flow_key[:8]
+    if enc == header_mac:  # leak: variable-time compare on key material
+        return label
+    return None

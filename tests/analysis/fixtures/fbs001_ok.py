@@ -1,0 +1,20 @@
+"""Compliant fixture for FBS001: key material stays off debug/compare sinks.
+
+Linted as if it lived at ``src/repro/core/session.py``.
+"""
+
+# fbslint: module=repro.core.session
+from repro.crypto.mac import constant_time_equal
+
+
+def verify(kdf, sfl, master, src, dst, header_mac, compute_mac):
+    flow_key = kdf.flow_key(sfl, master, src, dst)
+    expected = compute_mac(flow_key)
+    if not constant_time_equal(expected, header_mac):
+        return None
+    return kdf.encryption_key(flow_key)
+
+
+def describe(sfl):
+    # Flow labels are public header fields; rendering them is fine.
+    return f"flow {sfl:#x}"

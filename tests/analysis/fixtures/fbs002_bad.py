@@ -1,0 +1,16 @@
+"""Violating fixture for FBS002: wall-clock reads in simulation code.
+
+Linted as if it lived at ``src/repro/netsim/badclock.py`` (the same
+source is quiet under a ``src/repro/bench/`` logical path).
+"""
+
+# fbslint: module=repro.netsim.badclock
+import time
+from datetime import datetime
+
+
+def now_wall():
+    started = time.time()  # banned
+    tick = time.monotonic()  # banned
+    stamp = datetime.now()  # banned (argless)
+    return started, tick, stamp

@@ -1,0 +1,13 @@
+"""Compliant fixture for FBS002: simulated time only.
+
+Linted as if it lived at ``src/repro/netsim/goodclock.py``.
+"""
+
+# fbslint: module=repro.netsim.badclock
+def sample(sim):
+    return sim.now
+
+
+def stamp(now):
+    # Protocol code takes an injected ``now`` callable.
+    return now()

@@ -1,0 +1,12 @@
+"""Violating fixture for FBS003: global and unseeded randomness.
+
+Linted as if it lived at ``src/repro/core/jitter.py``.
+"""
+
+# fbslint: module=repro.core.jitter
+import random
+
+
+def jitter():
+    rng = random.Random()  # unseeded: nondeterministic
+    return random.random() + rng.random()  # global generator

@@ -1,0 +1,16 @@
+"""Compliant fixture for FBS003: explicitly seeded generators only.
+
+Linted as if it lived at ``src/repro/core/jitter.py``.
+"""
+
+# fbslint: module=repro.core.jitter
+import random as _random
+
+
+def jitter(seed):
+    rng = _random.Random(seed)
+    return rng.random()
+
+
+def loss(seed=0):
+    return _random.Random(seed).uniform(0.0, 0.01)

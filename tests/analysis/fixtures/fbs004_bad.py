@@ -1,0 +1,13 @@
+"""Violating fixture for FBS004: an assert guarding library behaviour.
+
+Linted as if it lived at ``src/repro/baselines/guard.py`` (the same
+source is quiet under a ``tests/`` logical path).
+"""
+
+# fbslint: module=repro.baselines.guard
+_TICKET_LEN = 24
+
+
+def issue(ticket):
+    assert len(ticket) == _TICKET_LEN  # vanishes under python -O
+    return ticket

@@ -1,0 +1,15 @@
+"""Compliant fixture for FBS004: guards are explicit typed raises.
+
+Linted as if it lived at ``src/repro/baselines/guard.py``.
+"""
+
+# fbslint: module=repro.baselines.guard
+_TICKET_LEN = 24
+
+
+def issue(ticket):
+    if len(ticket) != _TICKET_LEN:
+        raise ValueError(
+            f"ticket is {len(ticket)} bytes, expected {_TICKET_LEN}"
+        )
+    return ticket

@@ -1,0 +1,36 @@
+"""Violating fixture for FBS005: every way the codec can drift.
+
+Linted as if it lived at ``src/repro/core/header.py``.
+"""
+
+# fbslint: module=repro.core.header
+import struct
+
+FBS_HEADER_LEN = 8 + 4 + 16 + 8  # wrong: timestamp is 4 bytes, not 8
+
+
+class FBSHeader:
+    def __init__(self, sfl, confounder, mac, timestamp):
+        self.sfl = sfl
+        self.confounder = confounder
+        self.mac = mac
+        self.timestamp = timestamp
+
+    def encode(self):
+        # wrong: sfl packed as 32 bits instead of 64
+        return (
+            struct.pack(">II", self.sfl, self.confounder)
+            + self.mac
+            # wrong: timestamp packed as 64 bits instead of 32
+            + struct.pack(">Q", self.timestamp)
+        )
+
+    @classmethod
+    def decode(cls, data, mac_bytes=16):
+        offset = 0
+        sfl, confounder = struct.unpack_from(">QI", data, offset)
+        offset += 16  # wrong: ">QI" is 12 bytes, cursor now off by 4
+        mac = data[offset : offset + mac_bytes]
+        offset += mac_bytes
+        (timestamp,) = struct.unpack_from(">I", data, offset)
+        return cls(sfl, confounder, mac, timestamp)

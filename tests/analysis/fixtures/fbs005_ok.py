@@ -1,0 +1,36 @@
+"""Compliant fixture for FBS005: codec widths match the declared layout.
+
+A miniature of ``core/header.py`` -- sfl 64 bits, confounder 32, MAC
+128 (default suite), timestamp 32.  Linted as if it lived at
+``src/repro/core/header.py``.
+"""
+
+# fbslint: module=repro.core.header
+import struct
+
+FBS_HEADER_LEN = 8 + 4 + 16 + 4
+
+
+class FBSHeader:
+    def __init__(self, sfl, confounder, mac, timestamp):
+        self.sfl = sfl
+        self.confounder = confounder
+        self.mac = mac
+        self.timestamp = timestamp
+
+    def encode(self):
+        return (
+            struct.pack(">QI", self.sfl, self.confounder)
+            + self.mac
+            + struct.pack(">I", self.timestamp)
+        )
+
+    @classmethod
+    def decode(cls, data, mac_bytes=16):
+        offset = 0
+        sfl, confounder = struct.unpack_from(">QI", data, offset)
+        offset += 12
+        mac = data[offset : offset + mac_bytes]
+        offset += mac_bytes
+        (timestamp,) = struct.unpack_from(">I", data, offset)
+        return cls(sfl, confounder, mac, timestamp)

@@ -1,0 +1,30 @@
+"""Violating fixture for FBS006: silent rejections.
+
+Linted as if it lived at ``src/repro/baselines/receiver.py``.
+"""
+
+# fbslint: module=repro.baselines.receiver
+from repro.core.errors import (
+    HeaderFormatError,
+    MacMismatchError,
+    StaleTimestampError,
+)
+
+
+class Receiver:
+    def __init__(self, metrics, codec):
+        self.metrics = metrics
+        self.codec = codec
+
+    def unprotect(self, fresh, mac_ok):
+        if not fresh:
+            raise StaleTimestampError("stale timestamp")  # no counter
+        if not mac_ok:
+            raise MacMismatchError("bad mac")  # no counter
+        return b"ok"
+
+    def parse(self, data):
+        try:
+            return self.codec.decode(data)
+        except HeaderFormatError:
+            raise  # re-raised without counting the drop

@@ -1,0 +1,35 @@
+"""Compliant fixture for FBS006: every rejection bumps a counter first.
+
+Linted as if it lived at ``src/repro/baselines/receiver.py``.
+Exercises all three accepted shapes: direct sibling bump, bump just
+before the enclosing ``if``, and bump before a bare re-raise.
+"""
+
+# fbslint: module=repro.baselines.receiver
+from repro.core.errors import (
+    HeaderFormatError,
+    MacMismatchError,
+    StaleTimestampError,
+)
+
+
+class Receiver:
+    def __init__(self, metrics, codec):
+        self.metrics = metrics
+        self.codec = codec
+
+    def unprotect(self, fresh, mac_ok):
+        if not fresh:
+            self.metrics.stale_timestamps += 1
+            raise StaleTimestampError("stale timestamp")
+        self.metrics.mac_failures += 1
+        if not mac_ok:
+            raise MacMismatchError("bad mac")
+        return b"ok"
+
+    def parse(self, data):
+        try:
+            return self.codec.decode(data)
+        except HeaderFormatError:
+            self.metrics.header_errors += 1
+            raise

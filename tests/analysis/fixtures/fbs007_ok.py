@@ -1,0 +1,30 @@
+"""Compliant fixture for FBS007: typed raises, narrow excepts.
+
+Linted as if it lived at ``src/repro/core/protocol.py`` -- so it also
+honours FBS006 (metrics before every ReceiveError raise).
+"""
+
+# fbslint: module=repro.core.protocol
+from repro.core.errors import HeaderFormatError, MacMismatchError
+
+
+class FBSEndpoint:
+    def __init__(self, metrics):
+        self.metrics = metrics
+
+    def unprotect(self, data, mac_ok):
+        try:
+            body = self._decode(data)
+        except HeaderFormatError:
+            self.metrics.header_errors += 1
+            raise
+        if not mac_ok:
+            self.metrics.mac_failures += 1
+            raise MacMismatchError("MAC mismatch")
+        return body
+
+    def _decode(self, data):
+        if len(data) < 32:
+            self.metrics.header_errors += 1
+            raise HeaderFormatError("datagram too short")
+        return data[32:]

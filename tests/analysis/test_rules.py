@@ -1,0 +1,145 @@
+"""Per-rule fixture tests: each rule fires on its violating fixture and
+stays quiet on the compliant one (acceptance criteria of ISSUE 1)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import all_rules, lint_source
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: rule id -> (logical path the fixtures impersonate, findings expected
+#: from the violating fixture).
+CASES = {
+    "FBS001": ("src/repro/core/session.py", 4),
+    "FBS002": ("src/repro/netsim/badclock.py", 3),
+    "FBS003": ("src/repro/core/jitter.py", 2),
+    "FBS004": ("src/repro/baselines/guard.py", 1),
+    "FBS005": ("src/repro/core/header.py", 4),
+    "FBS006": ("src/repro/baselines/receiver.py", 3),
+    "FBS007": ("src/repro/core/protocol.py", 3),
+}
+
+
+def lint_fixture(name: str, logical_path: str):
+    path = FIXTURES / name
+    return lint_source(
+        path.read_text(encoding="utf-8"), path=name, logical_path=logical_path
+    )
+
+
+def test_every_rule_has_a_fixture_pair():
+    ids = {rule.rule_id for rule in all_rules()}
+    assert ids == set(CASES), "CASES must cover exactly the registered rules"
+    for rule_id in ids:
+        stem = rule_id.lower()
+        assert (FIXTURES / f"{stem}_ok.py").exists()
+        assert (FIXTURES / f"{stem}_bad.py").exists()
+
+
+@pytest.mark.parametrize("rule_id", sorted(CASES))
+def test_rule_fires_on_violating_fixture(rule_id):
+    logical, expected = CASES[rule_id]
+    result = lint_fixture(f"{rule_id.lower()}_bad.py", logical)
+    fired = [f for f in result.findings if f.rule_id == rule_id]
+    assert len(fired) == expected, [f.render() for f in result.findings]
+    # No cross-rule noise: the violating fixture trips only its rule.
+    assert {f.rule_id for f in result.findings} == {rule_id}
+    # Every finding carries a real location.
+    assert all(f.line > 0 and f.path for f in fired)
+
+
+@pytest.mark.parametrize("rule_id", sorted(CASES))
+def test_rule_quiet_on_compliant_fixture(rule_id):
+    logical, _ = CASES[rule_id]
+    result = lint_fixture(f"{rule_id.lower()}_ok.py", logical)
+    assert result.findings == [], [f.render() for f in result.findings]
+
+
+_WALL_CLOCK = "import time\n\ndef now_wall():\n    return time.time()\n"
+_ASSERT_GUARD = "def issue(t):\n    assert t\n    return t\n"
+_SILENT_RAISE = (
+    "from repro.core.errors import MacMismatchError\n\n"
+    "def unprotect(mac_ok):\n"
+    "    if not mac_ok:\n"
+    "        raise MacMismatchError('bad mac')\n"
+)
+_BUILTIN_RAISE = (
+    "def protect(body):\n"
+    "    if body is None:\n"
+    "        raise ValueError('no body')\n"
+    "    return body\n"
+)
+
+
+def test_wall_clock_allowed_in_bench():
+    # The same violating pattern is legal under repro.bench (it
+    # measures real elapsed time).
+    netsim = lint_source(_WALL_CLOCK, logical_path="src/repro/netsim/x.py")
+    bench = lint_source(_WALL_CLOCK, logical_path="src/repro/bench/x.py")
+    assert [f.rule_id for f in netsim.findings] == ["FBS002"]
+    assert bench.findings == []
+
+
+def test_asserts_allowed_in_test_code():
+    lib = lint_source(_ASSERT_GUARD, logical_path="src/repro/core/x.py")
+    test = lint_source(
+        _ASSERT_GUARD, logical_path="tests/baselines/test_guard.py"
+    )
+    assert [f.rule_id for f in lib.findings] == ["FBS004"]
+    assert test.findings == []
+
+
+def test_metrics_rule_scoped_to_protocol_and_baselines():
+    # The codec layers raise ReceiveErrors with no metrics object; the
+    # protocol engine counts them.  FBS006 must not fire outside
+    # core/protocol.py and baselines/.
+    header = lint_source(
+        _SILENT_RAISE, logical_path="src/repro/core/header.py"
+    )
+    baseline = lint_source(
+        _SILENT_RAISE, logical_path="src/repro/baselines/kdc.py"
+    )
+    assert [f for f in header.findings if f.rule_id == "FBS006"] == []
+    assert [f.rule_id for f in baseline.findings] == ["FBS006"]
+
+
+def test_taxonomy_raise_check_scoped_to_protocol():
+    # Only core/protocol.py's public surface is bound to the FBSError
+    # taxonomy; helper modules may raise builtins.
+    protocol = lint_source(
+        _BUILTIN_RAISE, logical_path="src/repro/core/protocol.py"
+    )
+    deploy = lint_source(
+        _BUILTIN_RAISE, logical_path="src/repro/core/deploy.py"
+    )
+    assert [f.rule_id for f in protocol.findings] == ["FBS007"]
+    assert "public protocol entry point" in protocol.findings[0].message
+    assert deploy.findings == []
+
+
+def test_compare_against_none_is_not_flagged():
+    source = (
+        "def check(kdf):\n"
+        "    key = kdf.flow_key(1, b'm', None, None)\n"
+        "    return key is not None\n"
+    )
+    result = lint_source(source, logical_path="src/repro/core/x.py")
+    assert result.findings == []
+
+
+def test_real_header_module_is_clean():
+    # The actual codec must satisfy its own layout rule.
+    path = Path(__file__).parents[2] / "src/repro/core/header.py"
+    result = lint_source(
+        path.read_text(encoding="utf-8"), logical_path=str(path)
+    )
+    assert result.findings == [], [f.render() for f in result.findings]
+
+
+def test_rule_metadata_complete():
+    for rule in all_rules():
+        assert rule.rule_id.startswith("FBS") and len(rule.rule_id) == 6
+        assert rule.name and rule.description and rule.rationale
+        assert rule.severity in (1, 2)

@@ -95,6 +95,32 @@ class TestConstantTimeEqual:
     def test_empty(self):
         assert constant_time_equal(b"", b"")
 
+    def test_empty_vs_nonempty(self):
+        assert not constant_time_equal(b"", b"x")
+        assert not constant_time_equal(b"x", b"")
+
+    def test_prefix_is_not_equal(self):
+        # A truncated MAC must not compare equal to the full one.
+        mac = bytes(range(16))
+        assert not constant_time_equal(mac[:8], mac)
+        assert not constant_time_equal(mac, mac[:8])
+
+    @pytest.mark.parametrize("position", range(16))
+    @pytest.mark.parametrize("bit", range(8))
+    def test_single_bit_difference_every_position(self, position, bit):
+        # Every single-bit flip, in every byte position of a 128-bit
+        # MAC, must be caught -- the accumulator must not wrap or mask.
+        mac = bytes(range(16))
+        flipped = bytearray(mac)
+        flipped[position] ^= 1 << bit
+        assert not constant_time_equal(mac, bytes(flipped))
+        assert not constant_time_equal(bytes(flipped), mac)
+
+    def test_high_bit_only_difference(self):
+        # Regression guard for implementations comparing via sums: the
+        # 0x80 bit alone must flip the verdict.
+        assert not constant_time_equal(b"\x00" * 16, b"\x80" + b"\x00" * 15)
+
 
 class TestDesCbcMac:
     def test_deterministic(self):
