@@ -6,7 +6,7 @@ PYTHON ?= python3
 # no editable install needed.
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test lint bench examples reports clean
+.PHONY: install test lint bench bench-smoke examples reports clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -21,6 +21,11 @@ lint:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Tiny-iteration datapath kernel bench: keeps the harness from rotting
+# (CI runs this; rates are noisy but the correctness gates are strict).
+bench-smoke:
+	$(PYTHON) benchmarks/bench_datapath.py --smoke --json /tmp/BENCH_datapath.smoke.json
 
 examples:
 	@for script in examples/*.py; do \

@@ -1,0 +1,71 @@
+"""Datapath kernel micro-benchmarks -> BENCH_datapath.json.
+
+Times every stage of the per-datagram fast path (DES block kernel, key
+schedule, MD5/SHA-1, keyed MAC, CBC over 1 KB, and warm-cache
+``protect``/``unprotect`` round trips) and reports each rate next to the
+frozen pre-fast-path baseline (see
+:data:`repro.bench.datapath.PRE_PR_BASELINE`).
+
+Runs two ways:
+
+* under pytest with the rest of the figure benches
+  (``pytest benchmarks/ --benchmark-only``), writing
+  ``benchmarks/reports/datapath.txt``;
+* as a CLI -- ``python benchmarks/bench_datapath.py [--smoke] [--json
+  PATH]`` -- writing ``BENCH_datapath.json`` (the ``make bench-smoke``
+  target CI runs).
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.bench import render_datapath_report, run_datapath_bench
+
+DEFAULT_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_datapath.json"
+
+
+def check_results(results) -> None:
+    """The acceptance gates: kernel speedup and zero warm-cache keying."""
+    assert results["speedups"]["des_block_fast_vs_reference"] >= 5.0
+    assert all(v == 0 for v in results["fast_path_per_datagram"].values()), (
+        "warm-cache datagram performed keying work: "
+        f"{results['fast_path_per_datagram']}"
+    )
+    assert all(rate > 0 for rate in results["stages"].values())
+
+
+def test_datapath_kernels(benchmark, report_writer):
+    results = benchmark.pedantic(
+        run_datapath_bench, kwargs={"profile": "smoke"}, rounds=1, iterations=1
+    )
+    report_writer("datapath", render_datapath_report(results))
+    check_results(results)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="sub-second per stage (CI); rates are noisier, checks as strict",
+    )
+    parser.add_argument(
+        "--json",
+        type=pathlib.Path,
+        default=DEFAULT_JSON,
+        metavar="PATH",
+        help=f"where to write the JSON results (default: {DEFAULT_JSON})",
+    )
+    args = parser.parse_args(argv)
+    results = run_datapath_bench(profile="smoke" if args.smoke else "full")
+    check_results(results)
+    args.json.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(render_datapath_report(results))
+    print(f"\nwrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,11 @@ that defines ``FBSHeader`` or ``FBS_HEADER_LEN``:
 * ``FBS_HEADER_LEN`` must evaluate to 8 + 4 + 16 + 4 = 32;
 * an ``offset += N`` immediately following a ``struct.unpack_from(fmt,
   ...)`` must have ``N == calcsize(fmt)``.
+
+Both spellings of a codec call are checked: direct ``struct.pack(fmt,
+...)`` and calls through a precompiled module-level binding (``_CODEC =
+struct.Struct(fmt)`` then ``_CODEC.pack(...)``) -- the fast-path idiom
+``core/header.py`` uses must not make the widths invisible to the rule.
 """
 
 from __future__ import annotations
@@ -93,20 +98,54 @@ def _field_name(node: ast.AST) -> Optional[str]:
     return None
 
 
-def _struct_call(node: ast.AST) -> Optional[Tuple[str, ast.Call]]:
-    """``(method, call)`` when ``node`` is ``struct.<method>(Constant, ...)``."""
-    if not isinstance(node, ast.Call):
+def _struct_bindings(tree: ast.Module) -> Dict[str, str]:
+    """Names bound to ``struct.Struct(<constant format>)`` instances."""
+    bindings: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Assign) and isinstance(node.value, ast.Call)):
+            continue
+        func = node.value.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr == "Struct"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "struct"
+            and node.value.args
+            and isinstance(node.value.args[0], ast.Constant)
+            and isinstance(node.value.args[0].value, str)
+        ):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                bindings[target.id] = node.value.args[0].value
+    return bindings
+
+
+def _codec_call(
+    node: ast.AST, bindings: Dict[str, str]
+) -> Optional[Tuple[str, ast.Call, str, bool]]:
+    """``(method, call, format, bound)`` for either codec spelling.
+
+    ``bound`` is False for ``struct.<method>("fmt", ...)`` (the format is
+    the first argument) and True for ``<name>.<method>(...)`` where
+    ``<name>`` is a known ``struct.Struct`` binding (the format lives on
+    the instance, so the argument list starts one slot earlier).
+    """
+    if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
         return None
     func = node.func
+    if not isinstance(func.value, ast.Name):
+        return None
     if (
-        isinstance(func, ast.Attribute)
-        and isinstance(func.value, ast.Name)
-        and func.value.id == "struct"
+        func.value.id == "struct"
         and node.args
         and isinstance(node.args[0], ast.Constant)
         and isinstance(node.args[0].value, str)
     ):
-        return func.attr, node
+        return func.attr, node, node.args[0].value, False
+    fmt = bindings.get(func.value.id)
+    if fmt is not None and func.attr in ("pack", "pack_into", "unpack", "unpack_from"):
+        return func.attr, node, fmt, True
     return None
 
 
@@ -125,6 +164,7 @@ class HeaderLayoutRule(Rule):
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         if not self._applies(ctx.tree):
             return
+        self._bindings = _struct_bindings(ctx.tree)
         # Build the unpack-call -> target-names map (and offset findings)
         # before the width checks that consume the map.
         offset_findings = list(self._check_offset_arithmetic(ctx))
@@ -164,19 +204,20 @@ class HeaderLayoutRule(Rule):
 
     def _check_struct_widths(self, ctx: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
-            hit = _struct_call(node)
+            hit = _codec_call(node, self._bindings)
             if hit is None:
                 continue
-            method, call = hit
-            fmt = call.args[0].value
+            method, call, fmt, bound = hit
             sizes = _parse_format(fmt)
             if sizes is None:
                 continue
             if method in ("pack", "pack_into"):
-                # Field values follow the format (and the buffer/offset
-                # for pack_into).
-                values = call.args[1:] if method == "pack" else call.args[3:]
-                yield from self._match_fields(ctx, call, fmt, sizes, values)
+                # Field values follow the format when it is an argument,
+                # and the buffer/offset for pack_into.
+                skip = (0 if bound else 1) + (2 if method == "pack_into" else 0)
+                yield from self._match_fields(
+                    ctx, call, fmt, sizes, call.args[skip:]
+                )
             elif method in ("unpack", "unpack_from"):
                 yield from self._match_unpack_targets(ctx, call, fmt, sizes)
 
@@ -228,10 +269,10 @@ class HeaderLayoutRule(Rule):
             for i, stmt in enumerate(block):
                 if not isinstance(stmt, ast.Assign):
                     continue
-                hit = _struct_call(stmt.value)
+                hit = _codec_call(stmt.value, self._bindings)
                 if hit is None or hit[0] not in ("unpack", "unpack_from"):
                     continue
-                call = hit[1]
+                _method, call, fmt, _bound = hit
                 target = stmt.targets[0]
                 if isinstance(target, ast.Tuple):
                     self._unpack_targets[id(call)] = [
@@ -239,7 +280,7 @@ class HeaderLayoutRule(Rule):
                     ]
                 elif isinstance(target, ast.Name):
                     self._unpack_targets[id(call)] = [target.id]
-                sizes = _parse_format(call.args[0].value)
+                sizes = _parse_format(fmt)
                 if sizes is None:
                     continue
                 # offset += N directly after the unpack must match calcsize.
@@ -258,7 +299,7 @@ class HeaderLayoutRule(Rule):
                                     ctx,
                                     nxt,
                                     f"offset advances by {bump} after "
-                                    f"unpacking {call.args[0].value!r} "
+                                    f"unpacking {fmt!r} "
                                     f"({sum(sizes)} bytes) -- the cursor "
                                     "and the format disagree",
                                 )

@@ -4,8 +4,15 @@
   measurement over the simulated testbed (Figure 8).
 * :mod:`repro.bench.reporting` -- plain-text table rendering shared by
   the per-figure bench scripts.
+* :mod:`repro.bench.datapath` -- crypto-kernel and warm-cache datapath
+  micro-benchmarks (the BENCH_datapath.json stages).
 """
 
+from repro.bench.datapath import (
+    PRE_PR_BASELINE,
+    render_datapath_report,
+    run_datapath_bench,
+)
 from repro.bench.throughput import (
     ThroughputResult,
     measure_udp_throughput,
@@ -25,4 +32,7 @@ __all__ = [
     "setup_security",
     "render_table",
     "render_cdf",
+    "PRE_PR_BASELINE",
+    "run_datapath_bench",
+    "render_datapath_report",
 ]

@@ -1,0 +1,245 @@
+"""Datapath kernel micro-benchmarks (the BENCH_datapath.json stages).
+
+Section 5.3's claim -- "with proper caching, the overhead of the FBS
+protocol can be reduced to the bare minimum, i.e., only MAC computation
+and encryption" -- makes the crypto kernels *the* datapath cost.  This
+module times each stage of that path in isolation and end to end:
+
+* the DES fast kernel (``repro.crypto.des``) against the FIPS 46
+  specification implementation (``repro.crypto.des_reference``),
+* the DES key schedule (what a flow-key cache miss pays),
+* the MD5/SHA-1 compress kernels and the prefix-keyed MAC,
+* DES-CBC over datagram-sized buffers, and
+* full ``protect``/``unprotect`` round trips through two
+  :class:`~repro.core.protocol.FBSEndpoint` instances, with the Figure 6
+  caches warm -- plus an explicit check that a warm-cache datagram
+  performs **zero** key derivations, zero crypto-state builds, and zero
+  DES key-schedule constructions.
+
+``PRE_PR_BASELINE`` freezes the numbers the same stages measured on the
+pre-fast-path kernels (bit-at-a-time-free but byte-oriented DES, rolled
+MD5/SHA-1 loops, per-datagram key derivation + schedule build), so
+``run_datapath_bench`` can report before/after deltas without checking
+out old code.  Absolute rates move with the host; the *ratios* are the
+reproducible part, and the live fast-vs-reference DES ratio is measured
+fresh on every run.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+__all__ = ["PRE_PR_BASELINE", "run_datapath_bench", "render_datapath_report"]
+
+
+#: Stage rates measured at the pre-PR commit (seed kernels) on the same
+#: harness loops as below.  Units: ``*_ops_s`` are operations/second,
+#: ``*_Bps`` bytes/second.  Round-trip stages alternate one ``protect``
+#: and one ``unprotect`` between two warm endpoints.
+PRE_PR_BASELINE: Dict[str, float] = {
+    "des_block_ops_s": 39405.5,
+    "des_schedule_ops_s": 40531.8,
+    "md5_1k_ops_s": 1480.4,
+    "keyed_md5_1k_ops_s": 1510.6,
+    "des_cbc_1k_Bps": 251314.0,
+    "roundtrip_secret_64B_ops_s": 1289.15,
+    "roundtrip_secret_256B_ops_s": 417.00,
+    "roundtrip_secret_1024B_ops_s": 114.59,
+    "roundtrip_mac_only_1024B_ops_s": 733.21,
+}
+
+
+def _rate(fn: Callable[[], object], min_time: float, repeats: int = 3) -> float:
+    """Best-of-``repeats`` calls/second of ``fn``, ``min_time`` each.
+
+    Interference (scheduler preemption, host steal time) only ever
+    *slows* a measurement, so the fastest repetition is the least-noisy
+    estimate of the kernel's true rate -- the same reasoning behind
+    taking ``min(timeit.repeat(...))``.
+    """
+    fn()  # warm caches and lazy imports outside the timed region
+    best = 0.0
+    for _ in range(repeats):
+        calls = 0
+        batch = 1
+        start = time.perf_counter()
+        deadline = start + min_time
+        while True:
+            for _ in range(batch):
+                fn()
+            calls += batch
+            now = time.perf_counter()
+            if now >= deadline:
+                break
+            batch = min(batch * 2, 4096)
+        best = max(best, calls / (now - start))
+    return best
+
+
+def _endpoint_pair():
+    """Two enrolled endpoints sharing a domain (the test-suite idiom)."""
+    from repro.core.deploy import FBSDomain
+    from repro.core.keying import Principal
+
+    domain = FBSDomain(seed=7)
+    alice = domain.make_endpoint(Principal.from_name("bench-alice"))
+    bob = domain.make_endpoint(Principal.from_name("bench-bob"))
+    return alice, bob
+
+
+def _fast_path_deltas() -> Dict[str, int]:
+    """Per-datagram keying work with warm caches (must all be zero)."""
+    from repro.crypto.des import DES
+
+    alice, bob = _endpoint_pair()
+    body = b"\xa5" * 256
+    # Warm every cache level: FST, TFKC/RFKC (crypto state included).
+    for _ in range(3):
+        bob.unprotect(alice.protect(body, bob.principal, secret=True),
+                      alice.principal, secret=True)
+    before = (
+        alice.metrics.send_flow_key_derivations
+        + bob.metrics.receive_flow_key_derivations,
+        alice.metrics.crypto_state_builds + bob.metrics.crypto_state_builds,
+        DES.schedule_builds,
+    )
+    bob.unprotect(alice.protect(body, bob.principal, secret=True),
+                  alice.principal, secret=True)
+    after = (
+        alice.metrics.send_flow_key_derivations
+        + bob.metrics.receive_flow_key_derivations,
+        alice.metrics.crypto_state_builds + bob.metrics.crypto_state_builds,
+        DES.schedule_builds,
+    )
+    return {
+        "flow_key_derivations": after[0] - before[0],
+        "crypto_state_builds": after[1] - before[1],
+        "des_schedule_builds": after[2] - before[2],
+    }
+
+
+def run_datapath_bench(profile: str = "full") -> Dict[str, object]:
+    """Run every stage; return a JSON-serializable result dictionary.
+
+    ``profile`` is ``"full"`` (default, ~15 s) or ``"smoke"`` (sub-second
+    per stage, for CI -- rates are noisier but the ratios and the
+    zero-work fast-path check are as strict).
+    """
+    from repro.core.keying import KeyDerivation
+    from repro.crypto import des_reference
+    from repro.crypto.des import DES
+    from repro.crypto.mac import keyed_md5
+    from repro.crypto.md5 import md5
+    from repro.crypto.modes import decrypt_cbc, encrypt_cbc
+    from repro.crypto.sha1 import sha1
+
+    if profile not in ("full", "smoke"):
+        raise ValueError(f"unknown profile {profile!r}")
+    min_time = 0.5 if profile == "full" else 0.05
+
+    key = b"\x13\x34\x57\x79\x9b\xbc\xdf\xf1"
+    cipher = DES(key)
+    ref_cipher = des_reference.DES(key)
+    block_int = 0x0123456789ABCDEF
+    block = block_int.to_bytes(8, "big")
+    kilobyte = bytes(range(256)) * 4
+    iv = b"\x00\x11\x22\x33\x44\x55\x66\x77"
+    mac_key = KeyDerivation.mac_key(b"\x5a" * 16)
+    cbc_ciphertext = encrypt_cbc(cipher, iv, kilobyte)
+
+    stages: Dict[str, float] = {}
+    stages["des_block_ops_s"] = _rate(
+        lambda: cipher.encrypt_int(block_int), min_time
+    )
+    stages["des_block_reference_ops_s"] = _rate(
+        lambda: ref_cipher.encrypt_block(block), min_time
+    )
+    stages["des_schedule_ops_s"] = _rate(lambda: DES(key), min_time)
+    stages["md5_1k_ops_s"] = _rate(lambda: md5(kilobyte), min_time)
+    stages["sha1_1k_ops_s"] = _rate(lambda: sha1(kilobyte), min_time)
+    stages["keyed_md5_1k_ops_s"] = _rate(
+        lambda: keyed_md5(mac_key, kilobyte), min_time
+    )
+    stages["des_cbc_1k_Bps"] = len(kilobyte) * _rate(
+        lambda: encrypt_cbc(cipher, iv, kilobyte), min_time
+    )
+    stages["des_cbc_decrypt_1k_Bps"] = len(kilobyte) * _rate(
+        lambda: decrypt_cbc(cipher, iv, cbc_ciphertext), min_time
+    )
+
+    # End-to-end round trips: one protect + one unprotect per op, caches
+    # warm, alternating directions of work between the two endpoints.
+    # These are the headline numbers, so give them double the window.
+    rt_time = 2 * min_time
+    roundtrip_sizes = (64, 256, 1024) if profile == "full" else (256,)
+    for size in roundtrip_sizes:
+        alice, bob = _endpoint_pair()
+        body = b"\xc3" * size
+
+        def secret_roundtrip(alice=alice, bob=bob, body=body):
+            wire = alice.protect(body, bob.principal, secret=True)
+            return bob.unprotect(wire, alice.principal, secret=True)
+
+        stages[f"roundtrip_secret_{size}B_ops_s"] = _rate(
+            secret_roundtrip, rt_time
+        )
+    mac_sizes = (1024,) if profile == "full" else ()
+    for size in mac_sizes:
+        alice, bob = _endpoint_pair()
+        body = b"\x3c" * size
+
+        def mac_roundtrip(alice=alice, bob=bob, body=body):
+            wire = alice.protect(body, bob.principal, secret=False)
+            return bob.unprotect(wire, alice.principal, secret=False)
+
+        stages[f"roundtrip_mac_only_{size}B_ops_s"] = _rate(
+            mac_roundtrip, rt_time
+        )
+
+    speedups: Dict[str, float] = {
+        "des_block_fast_vs_reference": (
+            stages["des_block_ops_s"] / stages["des_block_reference_ops_s"]
+        )
+    }
+    for name, before in PRE_PR_BASELINE.items():
+        if name in stages:
+            speedups[f"{name}_vs_pre_pr"] = stages[name] / before
+
+    return {
+        "profile": profile,
+        "stages": stages,
+        "pre_pr_baseline": dict(PRE_PR_BASELINE),
+        "speedups": speedups,
+        "fast_path_per_datagram": _fast_path_deltas(),
+    }
+
+
+def render_datapath_report(results: Dict[str, object]) -> str:
+    """The human-readable table written to benchmarks/reports/."""
+    from repro.bench.reporting import render_table
+
+    stages = results["stages"]
+    speedups = results["speedups"]
+    rows = []
+    for name, value in stages.items():
+        vs_pre = speedups.get(f"{name}_vs_pre_pr")
+        rows.append(
+            (
+                name,
+                f"{value:,.1f}",
+                f"x{vs_pre:.2f}" if vs_pre is not None else "-",
+            )
+        )
+    lines = [
+        f"Datapath kernels ({results['profile']} profile)",
+        render_table(["stage", "rate", "vs pre-PR"], rows),
+        "",
+        "DES fast kernel vs FIPS 46 reference: "
+        f"x{speedups['des_block_fast_vs_reference']:.1f}",
+        "Warm-cache per-datagram keying work (must be all zero): "
+        + ", ".join(
+            f"{k}={v}" for k, v in results["fast_path_per_datagram"].items()
+        ),
+    ]
+    return "\n".join(lines)

@@ -36,6 +36,7 @@ __all__ = [
     "DirectMappedCache",
     "AssociativeCache",
     "FlowKeyCache",
+    "FlowKeyEntry",
     "MasterKeyCache",
     "PublicValueCache",
 ]
@@ -245,13 +246,25 @@ class AssociativeCache(Generic[V]):
 
 
 @dataclass
-class _FlowKeyEntry:
-    """TFKC/RFKC payload: the flow key plus bookkeeping for policies."""
+class FlowKeyEntry:
+    """TFKC/RFKC payload: the flow key plus bookkeeping for policies.
+
+    ``crypto`` carries the per-flow precomputed crypto state
+    (:class:`repro.core.keying.FlowCryptoState`) when the protocol engine
+    installed one; it shares the entry's lifetime, so flushing the cache
+    drops the derived state too (soft-state semantics are preserved).
+    """
 
     flow_key: bytes
     last_used: float = 0.0
     datagrams: int = 0
     octets: int = 0
+    crypto: Optional[object] = None
+
+
+#: Backwards-compatible alias (the entry type was private before the
+#: datapath fast path needed to hand entries to callers).
+_FlowKeyEntry = FlowKeyEntry
 
 
 class FlowKeyCache:
@@ -290,14 +303,25 @@ class FlowKeyCache:
         entry = self._cache.get(self._key(sfl, destination, source))
         return entry.flow_key if entry is not None else None
 
+    def lookup_entry(
+        self, sfl: int, destination: bytes, source: bytes
+    ) -> Optional[FlowKeyEntry]:
+        """Return the whole cached entry (flow key + crypto state)."""
+        return self._cache.get(self._key(sfl, destination, source))
+
     def install(
-        self, sfl: int, destination: bytes, source: bytes, flow_key: bytes, now: float = 0.0
-    ) -> None:
-        """Cache a freshly derived flow key."""
-        self._cache.put(
-            self._key(sfl, destination, source),
-            _FlowKeyEntry(flow_key=flow_key, last_used=now),
-        )
+        self,
+        sfl: int,
+        destination: bytes,
+        source: bytes,
+        flow_key: bytes,
+        now: float = 0.0,
+        crypto: Optional[object] = None,
+    ) -> FlowKeyEntry:
+        """Cache a freshly derived flow key (and its crypto state)."""
+        entry = FlowKeyEntry(flow_key=flow_key, last_used=now, crypto=crypto)
+        self._cache.put(self._key(sfl, destination, source), entry)
+        return entry
 
     def flush(self) -> None:
         self._cache.flush()

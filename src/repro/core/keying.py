@@ -23,10 +23,10 @@ import struct
 from dataclasses import dataclass
 from typing import Union
 
-from repro.core.config import AlgorithmSuite
+from repro.core.config import AlgorithmSuite, MacAlgorithm
 from repro.crypto.dh import DHGroup, DHPrivateKey
 
-__all__ = ["Principal", "KeyDerivation"]
+__all__ = ["Principal", "KeyDerivation", "FlowCryptoState"]
 
 
 @dataclass(frozen=True)
@@ -92,3 +92,101 @@ class KeyDerivation:
     def mac_key(flow_key: bytes) -> bytes:
         """The MAC key for a flow: the full K_f."""
         return flow_key
+
+
+class FlowCryptoState:
+    """Everything key-derived a flow's datapath needs, computed once.
+
+    Section 5.3's promise -- "with proper caching, the overhead of the
+    FBS protocol can be reduced to the bare minimum, i.e., only MAC
+    computation and encryption" -- only holds if the cache carries more
+    than ``K_f``: re-deriving ``mac_key``, re-absorbing the keyed-hash
+    prefix, or rebuilding the DES key schedule on every datagram is
+    per-flow work leaking into the per-packet path.  Instances of this
+    class ride in the TFKC/RFKC next to the flow key and precompute:
+
+    * ``mac_key`` (the full ``K_f`` under the default derivation);
+    * for prefix-keyed MACs, a hash object already fed the key -- each
+      datagram clones it and absorbs only ``confounder | ts | body``;
+    * for HMAC, the inner/outer pad states (the standard HMAC
+      precomputation, saving two extra compression calls per MAC);
+    * the DES cipher (schedule included), built lazily on the first
+      datagram that needs encryption or a DES-CBC-MAC.
+
+    ``mac()`` output is bit-identical to
+    ``suite.mac.func(mac_key, data)[:suite.mac_bytes]`` for every
+    :class:`~repro.core.config.MacAlgorithm`; tests assert this
+    differentially.  The state is as soft as the flow key it shadows:
+    flushing the cache drops it and the next datagram rebuilds it.
+    """
+
+    __slots__ = ("flow_key", "mac_key", "_mac_alg", "_mac_bytes",
+                 "_prefix", "_inner", "_outer", "_cipher")
+
+    _HMAC_BLOCK = 64
+
+    def __init__(self, flow_key: bytes, suite: AlgorithmSuite) -> None:
+        self.flow_key = flow_key
+        self.mac_key = KeyDerivation.mac_key(flow_key)
+        self._mac_alg = suite.mac
+        self._mac_bytes = suite.mac_bytes
+        self._prefix = None
+        self._inner = None
+        self._outer = None
+        self._cipher = None
+        hash_cls = self._hash_cls(suite.mac)
+        if suite.mac in (MacAlgorithm.KEYED_MD5, MacAlgorithm.KEYED_SHS):
+            self._prefix = hash_cls(self.mac_key)
+        elif suite.mac in (MacAlgorithm.HMAC_MD5, MacAlgorithm.HMAC_SHS):
+            key = self.mac_key
+            if len(key) > self._HMAC_BLOCK:
+                key = hash_cls(key).digest()
+            key = key.ljust(self._HMAC_BLOCK, b"\x00")
+            self._inner = hash_cls(bytes(k ^ 0x36 for k in key))
+            self._outer = hash_cls(bytes(k ^ 0x5C for k in key))
+
+    @staticmethod
+    def _hash_cls(mac: MacAlgorithm):
+        from repro.crypto.md5 import MD5
+        from repro.crypto.sha1 import SHA1
+
+        if mac in (MacAlgorithm.KEYED_SHS, MacAlgorithm.HMAC_SHS):
+            return SHA1
+        return MD5
+
+    @property
+    def cipher(self):
+        """The flow's DES instance; the schedule is built exactly once."""
+        cipher = self._cipher
+        if cipher is None:
+            from repro.crypto.des import DES
+
+            cipher = self._cipher = DES(
+                KeyDerivation.encryption_key(self.flow_key)
+            )
+        return cipher
+
+    def mac(self, data: bytes) -> bytes:
+        """The suite MAC of ``data``, truncated to the header width."""
+        alg = self._mac_alg
+        if self._prefix is not None:
+            h = self._prefix.copy()
+            h.update(data)
+            return h.digest()[: self._mac_bytes]
+        if self._inner is not None:
+            inner = self._inner.copy()
+            inner.update(data)
+            outer = self._outer.copy()
+            outer.update(inner.digest())
+            return outer.digest()[: self._mac_bytes]
+        if alg is MacAlgorithm.DES_MAC:
+            from repro.crypto.mac import des_cbc_mac_with
+
+            # DES-CBC-MAC keys on mac_key[:8] == flow_key[:8]: the same
+            # cached schedule serves encryption and MAC (footnote 12).
+            return des_cbc_mac_with(self.cipher, data)[: self._mac_bytes]
+        if alg is MacAlgorithm.NULL:
+            return b"\x00" * self._mac_bytes
+        # An algorithm this fast path has no precomputation for: fall
+        # back to the generic construction (still correct, just slower).
+        return alg.func(self.mac_key, data)[: self._mac_bytes]

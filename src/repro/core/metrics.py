@@ -18,6 +18,10 @@ class FBSMetrics:
     flows_started: int = 0
     send_flow_key_derivations: int = 0
     encryptions: int = 0
+    #: FlowCryptoState constructions (both halves).  On a TFKC/RFKC hit
+    #: this must stay flat: zero derivations, zero key schedules, zero
+    #: state builds -- the Figure 6 fast-path contract.
+    crypto_state_builds: int = 0
 
     # Receive side.
     datagrams_received: int = 0

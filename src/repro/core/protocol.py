@@ -37,12 +37,11 @@ from repro.core.errors import (
 )
 from repro.core.fam import DatagramAttributes, FlowAssociationMechanism
 from repro.core.header import FBSHeader, header_length
-from repro.core.keying import KeyDerivation, Principal
+from repro.core.keying import FlowCryptoState, KeyDerivation, Principal
 from repro.core.metrics import FBSMetrics
 from repro.core.mkd import MasterKeyDaemon
 from repro.core.timestamps import FreshnessWindow, TimestampCodec
 from repro.crypto import modes
-from repro.crypto.des import DES
 from repro.crypto.mac import constant_time_equal
 from repro.crypto.random import LinearCongruential
 
@@ -97,6 +96,11 @@ class FBSEndpoint:
         self._charge = charge or (lambda _cost: None)
         self._flow_key_cost = flow_key_cost
         self.metrics = FBSMetrics()
+        # Config is frozen, so the header length is a per-endpoint
+        # constant: compute it once instead of once per datagram.
+        self._header_len = header_length(
+            self.config.suite, self.config.carry_algorithm_id
+        )
         if self.config.replay_guard_size > 0:
             from repro.core.replay_guard import ReplayGuard
 
@@ -112,41 +116,87 @@ class FBSEndpoint:
     @property
     def header_size(self) -> int:
         """Wire bytes the security flow header adds to each datagram."""
-        return header_length(self.config.suite, self.config.carry_algorithm_id)
+        return self._header_len
 
     def _mac(self, flow_key: bytes, header: FBSHeader, body: bytes) -> bytes:
-        """MAC = HMAC(K_f | confounder | timestamp | payload)."""
-        data = header.confounder_bytes() + header.timestamp_bytes() + body
-        digest = self.config.suite.mac.func(self.kdf.mac_key(flow_key), data)
+        """MAC = HMAC(K_f | confounder | timestamp | payload).
+
+        Generic (non-cached) construction; the datapath goes through
+        :meth:`~repro.core.keying.FlowCryptoState.mac`, which produces
+        bit-identical output from precomputed key state.
+        """
+        digest = self.config.suite.mac.func(
+            self.kdf.mac_key(flow_key), header.mac_input(body)
+        )
         return digest[: self.config.suite.mac_bytes]
 
-    def _send_flow_key(self, sfl: int, destination: Principal) -> bytes:
-        """Figure 6: TFKC, then MKC/MKD, then derive and install."""
-        cached = self.tfkc.lookup(sfl, destination.wire_id, self.principal.wire_id)
-        if cached is not None:
-            return cached
+    def _build_crypto_state(self, flow_key: bytes) -> FlowCryptoState:
+        self.metrics.crypto_state_builds += 1
+        return FlowCryptoState(flow_key, self.config.suite)
+
+    def _send_flow_state(self, sfl: int, destination: Principal) -> FlowCryptoState:
+        """Figure 6: TFKC, then MKC/MKD, then derive and install.
+
+        A cache hit returns the flow's precomputed
+        :class:`FlowCryptoState`: zero key derivations, zero DES key
+        schedules, zero hash-prefix absorptions on the fast path.
+        """
+        entry = self.tfkc.lookup_entry(
+            sfl, destination.wire_id, self.principal.wire_id
+        )
+        if entry is not None:
+            if entry.crypto is None:
+                # Key installed by an out-of-band path (e.g. a test or
+                # simulator using FlowKeyCache directly): derive state
+                # once and pin it to the entry.
+                entry.crypto = self._build_crypto_state(entry.flow_key)
+            return entry.crypto
         master = self.mkd.upcall_master_key(destination)
         self._charge(self._flow_key_cost)
         self.metrics.send_flow_key_derivations += 1
         flow_key = self.kdf.flow_key(sfl, master, self.principal, destination)
+        state = self._build_crypto_state(flow_key)
         self.tfkc.install(
-            sfl, destination.wire_id, self.principal.wire_id, flow_key, now=self.now()
+            sfl,
+            destination.wire_id,
+            self.principal.wire_id,
+            flow_key,
+            now=self.now(),
+            crypto=state,
         )
-        return flow_key
+        return state
 
-    def _receive_flow_key(self, sfl: int, source: Principal) -> bytes:
+    def _receive_flow_state(self, sfl: int, source: Principal) -> FlowCryptoState:
         """The RFKC mirror of the send path."""
-        cached = self.rfkc.lookup(sfl, self.principal.wire_id, source.wire_id)
-        if cached is not None:
-            return cached
+        entry = self.rfkc.lookup_entry(
+            sfl, self.principal.wire_id, source.wire_id
+        )
+        if entry is not None:
+            if entry.crypto is None:
+                entry.crypto = self._build_crypto_state(entry.flow_key)
+            return entry.crypto
         master = self.mkd.upcall_master_key(source)
         self._charge(self._flow_key_cost)
         self.metrics.receive_flow_key_derivations += 1
         flow_key = self.kdf.flow_key(sfl, master, source, self.principal)
+        state = self._build_crypto_state(flow_key)
         self.rfkc.install(
-            sfl, self.principal.wire_id, source.wire_id, flow_key, now=self.now()
+            sfl,
+            self.principal.wire_id,
+            source.wire_id,
+            flow_key,
+            now=self.now(),
+            crypto=state,
         )
-        return flow_key
+        return state
+
+    def _send_flow_key(self, sfl: int, destination: Principal) -> bytes:
+        """The flow key alone (compatibility shim over the state path)."""
+        return self._send_flow_state(sfl, destination).flow_key
+
+    def _receive_flow_key(self, sfl: int, source: Principal) -> bytes:
+        """The flow key alone (compatibility shim over the state path)."""
+        return self._receive_flow_state(sfl, source).flow_key
 
     # -- FBSSend (Figure 4, left) ------------------------------------------------
 
@@ -173,8 +223,9 @@ class FBSEndpoint:
         if entry.datagrams == 1:
             self.metrics.flows_started += 1
         sfl = entry.sfl
-        # (S2-3) flow key (logically; physically via the TFKC).
-        flow_key = self._send_flow_key(sfl, destination)
+        # (S2-3) flow crypto state (logically the flow key; physically
+        # the TFKC entry carrying the precomputed per-key state).
+        state = self._send_flow_state(sfl, destination)
         # (S4-5) confounder and timestamp.
         confounder = self._confounder_rng.next_u32()
         timestamp = self.codec.encode(now)
@@ -185,12 +236,12 @@ class FBSEndpoint:
             timestamp=timestamp,
         )
         # (S6) MAC over confounder | timestamp | plaintext body.
-        header.mac = self._mac(flow_key, header, body)
-        # (S8-9) optional encryption with the confounder-derived IV.
+        header.mac = state.mac(header.mac_input(body))
+        # (S8-9) optional encryption with the confounder-derived IV; the
+        # cipher (key schedule included) is cached on the flow state.
         if secret:
-            cipher = DES(self.kdf.encryption_key(flow_key))
             body = modes.encrypt(
-                self.config.suite.cipher_mode, cipher, header.iv(), body
+                self.config.suite.cipher_mode, state.cipher, header.iv(), body
             )
             self.metrics.encryptions += 1
         # (S7, S10) emit header + body.
@@ -225,19 +276,18 @@ class FBSEndpoint:
             raise StaleTimestampError(
                 f"timestamp {header.timestamp} outside freshness window at {now}"
             )
-        # (R5-6) recover the flow key (via the RFKC).
+        # (R5-6) recover the flow crypto state (via the RFKC).
         try:
-            flow_key = self._receive_flow_key(header.sfl, source)
+            state = self._receive_flow_state(header.sfl, source)
         except FBSError:
             self.metrics.keying_failures += 1
             raise
         # (R10-11 before R7-9; see the module docstring on Figure 4's
-        # ordering) optional decryption.
+        # ordering) optional decryption with the flow's cached cipher.
         if secret:
-            cipher = DES(self.kdf.encryption_key(flow_key))
             try:
                 body = modes.decrypt(
-                    self.config.suite.cipher_mode, cipher, header.iv(), body
+                    self.config.suite.cipher_mode, state.cipher, header.iv(), body
                 )
             except ValueError as exc:
                 # Garbled padding: treat as an integrity failure.
@@ -245,7 +295,7 @@ class FBSEndpoint:
                 raise MacMismatchError(f"decryption failed: {exc}") from exc
             self.metrics.decryptions += 1
         # (R7-9) MAC verification over the plaintext.
-        expected = self._mac(flow_key, header, body)
+        expected = state.mac(header.mac_input(body))
         if not constant_time_equal(expected, header.mac):
             self.metrics.mac_failures += 1
             raise MacMismatchError(

@@ -1,219 +1,205 @@
-"""The DES block cipher (FIPS 46), implemented from scratch.
+"""The DES block cipher (FIPS 46): the datapath fast kernel.
 
 The paper's IP mapping uses DES for data confidentiality ("we use DES for
 encryption and MD5 for MAC computation", Section 7.2) via the CryptoLib
-library.  This module is a table-driven reference implementation operating
-on 64-bit blocks with a 64-bit key (56 effective key bits; parity bits are
-ignored, as in CryptoLib).
+library.  CryptoLib got its speed from precomputation, and so does this
+module: everything data-independent is folded into tables at import time,
+everything key-dependent is folded into the key schedule once in
+``__init__``, and the per-block path is table lookups on plain ints.
 
-The implementation favours clarity over speed: permutations are expressed
-directly from the FIPS tables.  Published test vectors are exercised in
-``tests/crypto/test_des.py``.
+* **Combined SP-boxes** -- each 6-bit S-box input maps straight to the
+  P-permuted 32-bit round-function contribution, so one round is eight
+  lookup/XOR/OR steps with no bit walking.
+* **Byte-indexed IP/FP tables** -- the initial and final permutations
+  are each eight 256-entry lookups (bit permutations distribute over OR).
+* **Folded E expansion** -- the expansion's eight overlapping 6-bit
+  windows are read directly off a 34-bit widening of the right half
+  (``R`` with its edge bits wrapped around), so E costs three shifts per
+  round instead of a table application.
+* **Subkeys as 6-bit chunks** -- the key schedule stores each 48-bit
+  round key pre-split into the eight chunks the SP lookups consume, and
+  keeps the reversed (decryption) order too, so ``decrypt_block`` never
+  re-materializes the schedule.
+
+The per-bit specification implementation this kernel is differentially
+tested against lives in :mod:`repro.crypto.des_reference` and is
+re-exported here as ``reference`` (``from repro.crypto import des;
+des.reference.DES``).  The FIPS tables themselves live in the reference
+module -- single source of truth -- and are only consumed here at import
+time to build the lookup tables.
+
+Higher-level modes of operation (CBC and friends, padding) live in
+:mod:`repro.crypto.modes`; they drive the ``encrypt_int``/``decrypt_int``
+entry points to keep whole buffers in int space.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence, Tuple
 
-__all__ = ["DES", "BLOCK_SIZE"]
+from repro.crypto import des_reference as reference
+from repro.crypto.des_reference import (
+    E as _E,
+    FP as _FP,
+    IP as _IP,
+    P as _P,
+    PC1 as _PC1,
+    PC2 as _PC2,
+    SBOXES as _SBOXES,
+    SHIFTS as _SHIFTS,
+    permute as _permute,
+)
+
+__all__ = ["DES", "BLOCK_SIZE", "reference"]
 
 #: DES block size in bytes.
 BLOCK_SIZE = 8
 
-# ---------------------------------------------------------------------------
-# FIPS 46 permutation tables.  All tables are 1-indexed bit positions taken
-# verbatim from the standard; bit 1 is the most significant bit of the input.
-# ---------------------------------------------------------------------------
 
-_IP = (
-    58, 50, 42, 34, 26, 18, 10, 2,
-    60, 52, 44, 36, 28, 20, 12, 4,
-    62, 54, 46, 38, 30, 22, 14, 6,
-    64, 56, 48, 40, 32, 24, 16, 8,
-    57, 49, 41, 33, 25, 17, 9, 1,
-    59, 51, 43, 35, 27, 19, 11, 3,
-    61, 53, 45, 37, 29, 21, 13, 5,
-    63, 55, 47, 39, 31, 23, 15, 7,
-)
+def _byte_luts(width: int, table: Sequence[int]) -> Tuple[Tuple[int, ...], ...]:
+    """Per-input-byte lookup tables for a bit permutation.
 
-_FP = (
-    40, 8, 48, 16, 56, 24, 64, 32,
-    39, 7, 47, 15, 55, 23, 63, 31,
-    38, 6, 46, 14, 54, 22, 62, 30,
-    37, 5, 45, 13, 53, 21, 61, 29,
-    36, 4, 44, 12, 52, 20, 60, 28,
-    35, 3, 43, 11, 51, 19, 59, 27,
-    34, 2, 42, 10, 50, 18, 58, 26,
-    33, 1, 41, 9, 49, 17, 57, 25,
-)
-
-_E = (
-    32, 1, 2, 3, 4, 5,
-    4, 5, 6, 7, 8, 9,
-    8, 9, 10, 11, 12, 13,
-    12, 13, 14, 15, 16, 17,
-    16, 17, 18, 19, 20, 21,
-    20, 21, 22, 23, 24, 25,
-    24, 25, 26, 27, 28, 29,
-    28, 29, 30, 31, 32, 1,
-)
-
-_P = (
-    16, 7, 20, 21,
-    29, 12, 28, 17,
-    1, 15, 23, 26,
-    5, 18, 31, 10,
-    2, 8, 24, 14,
-    32, 27, 3, 9,
-    19, 13, 30, 6,
-    22, 11, 4, 25,
-)
-
-_PC1 = (
-    57, 49, 41, 33, 25, 17, 9,
-    1, 58, 50, 42, 34, 26, 18,
-    10, 2, 59, 51, 43, 35, 27,
-    19, 11, 3, 60, 52, 44, 36,
-    63, 55, 47, 39, 31, 23, 15,
-    7, 62, 54, 46, 38, 30, 22,
-    14, 6, 61, 53, 45, 37, 29,
-    21, 13, 5, 28, 20, 12, 4,
-)
-
-_PC2 = (
-    14, 17, 11, 24, 1, 5,
-    3, 28, 15, 6, 21, 10,
-    23, 19, 12, 4, 26, 8,
-    16, 7, 27, 20, 13, 2,
-    41, 52, 31, 37, 47, 55,
-    30, 40, 51, 45, 33, 48,
-    44, 49, 39, 56, 34, 53,
-    46, 42, 50, 36, 29, 32,
-)
-
-_SHIFTS = (1, 1, 2, 2, 2, 2, 2, 2, 1, 2, 2, 2, 2, 2, 2, 1)
-
-_SBOXES = (
-    # S1
-    (
-        (14, 4, 13, 1, 2, 15, 11, 8, 3, 10, 6, 12, 5, 9, 0, 7),
-        (0, 15, 7, 4, 14, 2, 13, 1, 10, 6, 12, 11, 9, 5, 3, 8),
-        (4, 1, 14, 8, 13, 6, 2, 11, 15, 12, 9, 7, 3, 10, 5, 0),
-        (15, 12, 8, 2, 4, 9, 1, 7, 5, 11, 3, 14, 10, 0, 6, 13),
-    ),
-    # S2
-    (
-        (15, 1, 8, 14, 6, 11, 3, 4, 9, 7, 2, 13, 12, 0, 5, 10),
-        (3, 13, 4, 7, 15, 2, 8, 14, 12, 0, 1, 10, 6, 9, 11, 5),
-        (0, 14, 7, 11, 10, 4, 13, 1, 5, 8, 12, 6, 9, 3, 2, 15),
-        (13, 8, 10, 1, 3, 15, 4, 2, 11, 6, 7, 12, 0, 5, 14, 9),
-    ),
-    # S3
-    (
-        (10, 0, 9, 14, 6, 3, 15, 5, 1, 13, 12, 7, 11, 4, 2, 8),
-        (13, 7, 0, 9, 3, 4, 6, 10, 2, 8, 5, 14, 12, 11, 15, 1),
-        (13, 6, 4, 9, 8, 15, 3, 0, 11, 1, 2, 12, 5, 10, 14, 7),
-        (1, 10, 13, 0, 6, 9, 8, 7, 4, 15, 14, 3, 11, 5, 2, 12),
-    ),
-    # S4
-    (
-        (7, 13, 14, 3, 0, 6, 9, 10, 1, 2, 8, 5, 11, 12, 4, 15),
-        (13, 8, 11, 5, 6, 15, 0, 3, 4, 7, 2, 12, 1, 10, 14, 9),
-        (10, 6, 9, 0, 12, 11, 7, 13, 15, 1, 3, 14, 5, 2, 8, 4),
-        (3, 15, 0, 6, 10, 1, 13, 8, 9, 4, 5, 11, 12, 7, 2, 14),
-    ),
-    # S5
-    (
-        (2, 12, 4, 1, 7, 10, 11, 6, 8, 5, 3, 15, 13, 0, 14, 9),
-        (14, 11, 2, 12, 4, 7, 13, 1, 5, 0, 15, 10, 3, 9, 8, 6),
-        (4, 2, 1, 11, 10, 13, 7, 8, 15, 9, 12, 5, 6, 3, 0, 14),
-        (11, 8, 12, 7, 1, 14, 2, 13, 6, 15, 0, 9, 10, 4, 5, 3),
-    ),
-    # S6
-    (
-        (12, 1, 10, 15, 9, 2, 6, 8, 0, 13, 3, 4, 14, 7, 5, 11),
-        (10, 15, 4, 2, 7, 12, 9, 5, 6, 1, 13, 14, 0, 11, 3, 8),
-        (9, 14, 15, 5, 2, 8, 12, 3, 7, 0, 4, 10, 1, 13, 11, 6),
-        (4, 3, 2, 12, 9, 5, 15, 10, 11, 14, 1, 7, 6, 0, 8, 13),
-    ),
-    # S7
-    (
-        (4, 11, 2, 14, 15, 0, 8, 13, 3, 12, 9, 7, 5, 10, 6, 1),
-        (13, 0, 11, 7, 4, 9, 1, 10, 14, 3, 5, 12, 2, 15, 8, 6),
-        (1, 4, 11, 13, 12, 3, 7, 14, 10, 15, 6, 8, 0, 5, 9, 2),
-        (6, 11, 13, 8, 1, 4, 10, 7, 9, 5, 0, 15, 14, 2, 3, 12),
-    ),
-    # S8
-    (
-        (13, 2, 8, 4, 6, 15, 11, 1, 10, 9, 3, 14, 5, 0, 12, 7),
-        (1, 15, 13, 8, 10, 3, 7, 4, 12, 5, 6, 11, 0, 14, 9, 2),
-        (7, 11, 4, 1, 9, 12, 14, 2, 0, 6, 10, 13, 15, 3, 5, 8),
-        (2, 1, 14, 7, 4, 10, 8, 13, 15, 12, 9, 0, 3, 5, 6, 11),
-    ),
-)
-
-
-def _permute(value: int, width: int, table: Sequence[int]) -> int:
-    """Apply a FIPS bit-permutation table to ``value`` of ``width`` bits.
-
-    Table entries are 1-indexed from the most significant bit, per the
-    standard's convention.  This direct form is the specification; the
-    hot paths use byte-indexed lookup tables built from it by
-    :func:`_build_permutation_luts` (bit permutations distribute over
-    OR, so the result is the OR of one table lookup per input byte).
+    A bit permutation distributes over OR, so permuting a ``width``-bit
+    value equals OR-ing one precomputed table entry per input byte.
     """
-    out = 0
-    for pos in table:
-        out = (out << 1) | ((value >> (width - pos)) & 1)
-    return out
-
-
-def _build_permutation_luts(width: int, table: Sequence[int]):
-    """Precompute per-input-byte lookup tables for a bit permutation."""
-    nbytes = width // 8
     luts = []
-    for byte_index in range(nbytes):
+    for byte_index in range(width // 8):
         shift = width - 8 * (byte_index + 1)
-        entries = [
-            _permute(byte_value << shift, width, table) for byte_value in range(256)
-        ]
-        luts.append(tuple(entries))
+        luts.append(
+            tuple(
+                _permute(byte_value << shift, width, table)
+                for byte_value in range(256)
+            )
+        )
     return tuple(luts)
 
 
-def _apply_luts(value: int, width: int, luts) -> int:
+_IP_LUT = _byte_luts(64, _IP)
+_FP_LUT = _byte_luts(64, _FP)
+_PC1_LUT = _byte_luts(64, _PC1)
+# PC2 consumes a 56-bit quantity: pad to 56 bits (7 bytes).
+_PC2_LUT = _byte_luts(56, _PC2)
+
+# Combined SP-boxes: S-box output already run through the P permutation,
+# so one lookup per 6-bit chunk replaces the per-round S + P work.
+_SP = tuple(
+    tuple(
+        _permute(
+            _SBOXES[box][((chunk >> 4) & 0b10) | (chunk & 1)][(chunk >> 1) & 0x0F]
+            << (28 - 4 * box),
+            32,
+            _P,
+        )
+        for chunk in range(64)
+    )
+    for box in range(8)
+)
+
+# Every XOR-permutation of every SP-box: ``_SPX[box][k]`` is ``_SP[box]``
+# re-indexed by a 6-bit subkey chunk (``_SPX[box][k][i] == _SP[box][i ^
+# k]``).  The key schedule then *selects* eight tables per round and the
+# round function drops all eight subkey XORs -- the per-key work moves to
+# a handful of tuple lookups at schedule time, the per-block loop is pure
+# subscripting.  8 boxes x 64 chunks x 64 entries ~= 32k shared ints.
+_SPX = tuple(
+    tuple(tuple(sp[i ^ k] for i in range(64)) for k in range(64))
+    for sp in _SP
+)
+
+
+def _crypt(
+    block: int,
+    subkeys: Sequence[Tuple[Tuple[int, ...], ...]],
+    # The tables are bound as default arguments so every lookup in the
+    # hot loop resolves as a local, not a module global.
+    ip0=_IP_LUT[0], ip1=_IP_LUT[1], ip2=_IP_LUT[2], ip3=_IP_LUT[3],
+    ip4=_IP_LUT[4], ip5=_IP_LUT[5], ip6=_IP_LUT[6], ip7=_IP_LUT[7],
+    fp0=_FP_LUT[0], fp1=_FP_LUT[1], fp2=_FP_LUT[2], fp3=_FP_LUT[3],
+    fp4=_FP_LUT[4], fp5=_FP_LUT[5], fp6=_FP_LUT[6], fp7=_FP_LUT[7],
+) -> int:
+    """One DES block in int space (the direction is set by ``subkeys``).
+
+    ``subkeys`` is the key schedule as produced by :func:`_key_schedule`:
+    sixteen rounds of eight key-selected SP tables (see ``_SPX``), so the
+    round function is subscripting and OR only.
+    """
+    t = (
+        ip0[block >> 56]
+        | ip1[(block >> 48) & 0xFF]
+        | ip2[(block >> 40) & 0xFF]
+        | ip3[(block >> 32) & 0xFF]
+        | ip4[(block >> 24) & 0xFF]
+        | ip5[(block >> 16) & 0xFF]
+        | ip6[(block >> 8) & 0xFF]
+        | ip7[block & 0xFF]
+    )
+    left = t >> 32
+    right = t & 0xFFFFFFFF
+    for t0, t1, t2, t3, t4, t5, t6, t7 in subkeys:
+        # E(R) read off a 34-bit widening of R: bit 32 wrapped above the
+        # MSB, bit 1 wrapped below the LSB.  The eight overlapping 6-bit
+        # expansion windows then sit at shifts 28, 24, ..., 0 (the top
+        # window needs no mask: y >> 28 is already just six bits).
+        y = ((right & 1) << 33) | (right << 1) | (right >> 31)
+        left, right = right, left ^ (
+            t0[y >> 28]
+            | t1[(y >> 24) & 0x3F]
+            | t2[(y >> 20) & 0x3F]
+            | t3[(y >> 16) & 0x3F]
+            | t4[(y >> 12) & 0x3F]
+            | t5[(y >> 8) & 0x3F]
+            | t6[(y >> 4) & 0x3F]
+            | t7[y & 0x3F]
+        )
+    # Final swap then inverse initial permutation.
+    t = (right << 32) | left
+    return (
+        fp0[t >> 56]
+        | fp1[(t >> 48) & 0xFF]
+        | fp2[(t >> 40) & 0xFF]
+        | fp3[(t >> 32) & 0xFF]
+        | fp4[(t >> 24) & 0xFF]
+        | fp5[(t >> 16) & 0xFF]
+        | fp6[(t >> 8) & 0xFF]
+        | fp7[t & 0xFF]
+    )
+
+
+def _apply_luts(value: int, width: int, luts: Tuple[Tuple[int, ...], ...]) -> int:
     out = 0
     for byte_index, lut in enumerate(luts):
-        shift = width - 8 * (byte_index + 1)
-        out |= lut[(value >> shift) & 0xFF]
+        out |= lut[(value >> (width - 8 * (byte_index + 1))) & 0xFF]
     return out
 
 
-_IP_LUTS = _build_permutation_luts(64, _IP)
-_FP_LUTS = _build_permutation_luts(64, _FP)
-_PC1_LUTS = _build_permutation_luts(64, _PC1)
-# PC2 consumes a 56-bit quantity: pad to 56 bits (7 bytes).
-_PC2_LUTS = _build_permutation_luts(56, _PC2)
-# The expansion E consumes 32 bits and emits 48.
-_E_LUTS = _build_permutation_luts(32, _E)
+def _key_schedule(key: int) -> Tuple[Tuple[Tuple[int, ...], ...], ...]:
+    """The sixteen round subkeys as selected SP tables.
 
-# SP boxes: S-box output already run through the P permutation, so one
-# lookup per 6-bit chunk replaces the per-round S + P work.
-_SP = []
-for _box in range(8):
-    entries = []
-    for _chunk in range(64):
-        _row = ((_chunk >> 4) & 0b10) | (_chunk & 1)
-        _col = (_chunk >> 1) & 0x0F
-        _s_out = _SBOXES[_box][_row][_col] << (28 - 4 * _box)
-        entries.append(_permute(_s_out, 32, _P))
-    _SP.append(tuple(entries))
-_SP = tuple(_SP)
-
-
-def _rotate_left_28(value: int, amount: int) -> int:
-    """Rotate a 28-bit quantity left by ``amount`` bits."""
-    return ((value << amount) | (value >> (28 - amount))) & 0x0FFFFFFF
+    Each round's 48-bit subkey is split into eight 6-bit chunks and each
+    chunk picks its pre-XORed SP table from ``_SPX`` -- sixteen rounds of
+    eight shared 64-entry tuples, no per-key table construction.
+    """
+    permuted = _apply_luts(key, 64, _PC1_LUT)
+    c = (permuted >> 28) & 0x0FFFFFFF
+    d = permuted & 0x0FFFFFFF
+    subkeys = []
+    for shift in _SHIFTS:
+        c = ((c << shift) | (c >> (28 - shift))) & 0x0FFFFFFF
+        d = ((d << shift) | (d >> (28 - shift))) & 0x0FFFFFFF
+        k48 = _apply_luts((c << 28) | d, 56, _PC2_LUT)
+        subkeys.append(
+            (
+                _SPX[0][(k48 >> 42) & 0x3F],
+                _SPX[1][(k48 >> 36) & 0x3F],
+                _SPX[2][(k48 >> 30) & 0x3F],
+                _SPX[3][(k48 >> 24) & 0x3F],
+                _SPX[4][(k48 >> 18) & 0x3F],
+                _SPX[5][(k48 >> 12) & 0x3F],
+                _SPX[6][(k48 >> 6) & 0x3F],
+                _SPX[7][k48 & 0x3F],
+            )
+        )
+    return tuple(subkeys)
 
 
 class DES:
@@ -225,65 +211,49 @@ class DES:
         8-byte key.  Parity bits (the least significant bit of each byte)
         are ignored, per FIPS 46.
 
+    The key schedule -- including the reversed decryption order -- is
+    computed exactly once here; per-block work is pure table lookups.
+    ``schedule_builds`` counts schedule constructions process-wide so
+    tests and benches can assert that cache-hit datapaths build zero
+    schedules (the Figure 6 fast-path contract).
+
     Higher-level modes of operation (CBC and friends, padding) live in
     :mod:`repro.crypto.modes`.
     """
 
+    __slots__ = ("subkeys", "subkeys_rev")
+
+    #: Process-wide count of key-schedule constructions (one per DES()).
+    schedule_builds = 0
+
     def __init__(self, key: bytes) -> None:
         if len(key) != BLOCK_SIZE:
             raise ValueError(f"DES key must be 8 bytes, got {len(key)}")
-        self._subkeys = self._key_schedule(int.from_bytes(key, "big"))
+        DES.schedule_builds += 1
+        #: The encryption schedule: what :func:`_crypt` consumes.  The
+        #: mode layer (:mod:`repro.crypto.modes`) reads these directly to
+        #: drive ``_crypt`` without per-block method dispatch.
+        self.subkeys = _key_schedule(int.from_bytes(key, "big"))
+        self.subkeys_rev = tuple(reversed(self.subkeys))
 
-    @staticmethod
-    def _key_schedule(key: int) -> List[int]:
-        """Derive the sixteen 48-bit round subkeys."""
-        permuted = _apply_luts(key, 64, _PC1_LUTS)
-        c = (permuted >> 28) & 0x0FFFFFFF
-        d = permuted & 0x0FFFFFFF
-        subkeys = []
-        for shift in _SHIFTS:
-            c = _rotate_left_28(c, shift)
-            d = _rotate_left_28(d, shift)
-            subkeys.append(_apply_luts((c << 28) | d, 56, _PC2_LUTS))
-        return subkeys
+    def encrypt_int(self, block: int) -> int:
+        """Encrypt one block given (and returned) as a 64-bit int."""
+        return _crypt(block, self.subkeys)
 
-    @staticmethod
-    def _feistel(half: int, subkey: int) -> int:
-        """The DES round function f(R, K), via fused SP-box lookups."""
-        expanded = _apply_luts(half, 32, _E_LUTS) ^ subkey
-        return (
-            _SP[0][(expanded >> 42) & 0x3F]
-            | _SP[1][(expanded >> 36) & 0x3F]
-            | _SP[2][(expanded >> 30) & 0x3F]
-            | _SP[3][(expanded >> 24) & 0x3F]
-            | _SP[4][(expanded >> 18) & 0x3F]
-            | _SP[5][(expanded >> 12) & 0x3F]
-            | _SP[6][(expanded >> 6) & 0x3F]
-            | _SP[7][expanded & 0x3F]
-        )
-
-    def _crypt_block(self, block: int, subkeys: Sequence[int]) -> int:
-        block = _apply_luts(block, 64, _IP_LUTS)
-        left = (block >> 32) & 0xFFFFFFFF
-        right = block & 0xFFFFFFFF
-        feistel = self._feistel
-        for subkey in subkeys:
-            left, right = right, left ^ feistel(right, subkey)
-        # Final swap then inverse initial permutation.
-        return _apply_luts((right << 32) | left, 64, _FP_LUTS)
+    def decrypt_int(self, block: int) -> int:
+        """Decrypt one block given (and returned) as a 64-bit int."""
+        return _crypt(block, self.subkeys_rev)
 
     def encrypt_block(self, block: bytes) -> bytes:
         """Encrypt a single 8-byte block."""
         if len(block) != BLOCK_SIZE:
             raise ValueError(f"DES block must be 8 bytes, got {len(block)}")
-        value = self._crypt_block(int.from_bytes(block, "big"), self._subkeys)
+        value = _crypt(int.from_bytes(block, "big"), self.subkeys)
         return value.to_bytes(BLOCK_SIZE, "big")
 
     def decrypt_block(self, block: bytes) -> bytes:
         """Decrypt a single 8-byte block."""
         if len(block) != BLOCK_SIZE:
             raise ValueError(f"DES block must be 8 bytes, got {len(block)}")
-        value = self._crypt_block(
-            int.from_bytes(block, "big"), tuple(reversed(self._subkeys))
-        )
+        value = _crypt(int.from_bytes(block, "big"), self.subkeys_rev)
         return value.to_bytes(BLOCK_SIZE, "big")

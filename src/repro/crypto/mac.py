@@ -29,6 +29,7 @@ __all__ = [
     "hmac_md5",
     "hmac_sha1",
     "des_cbc_mac",
+    "des_cbc_mac_with",
     "truncate_mac",
     "constant_time_equal",
 ]
@@ -45,18 +46,29 @@ def des_cbc_mac(key: bytes, data: bytes) -> bytes:
     extension is headed off by prepending the message length.
     """
     from repro.crypto.des import DES
-    from repro.crypto.modes import pad_block
 
     if len(key) < 8:
         raise ValueError("DES CBC-MAC needs at least 8 key bytes")
-    cipher = DES(key[:8])
-    message = len(data).to_bytes(8, "big") + data
-    state = b"\x00" * 8
-    padded = pad_block(message)
-    for i in range(0, len(padded), 8):
-        block = bytes(x ^ y for x, y in zip(padded[i : i + 8], state))
-        state = cipher.encrypt_block(block)
-    return state
+    return des_cbc_mac_with(DES(key[:8]), data)
+
+
+def des_cbc_mac_with(cipher, data: bytes) -> bytes:
+    """:func:`des_cbc_mac` driven by an already-constructed cipher.
+
+    The per-flow fast path (``FlowCryptoState``) caches the DES key
+    schedule; this entry point lets it MAC without rebuilding one.
+    """
+    import struct
+
+    from repro.crypto.des import _crypt
+    from repro.crypto.modes import pad_block
+
+    padded = pad_block(len(data).to_bytes(8, "big") + data)
+    subkeys = cipher.subkeys
+    state = 0
+    for value in struct.unpack(">%dQ" % (len(padded) // 8), padded):
+        state = _crypt(value ^ state, subkeys)
+    return state.to_bytes(8, "big")
 
 
 def keyed_md5(key: bytes, data: bytes) -> bytes:

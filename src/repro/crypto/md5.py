@@ -5,11 +5,26 @@ for the keyed MAC ("keyed MD5 is used to compute the MAC", Section 7.2).
 This is a streaming implementation with the familiar ``update``/``digest``
 interface; correctness is checked against the RFC 1321 test suite and
 against :mod:`hashlib` by the tests.
+
+Because every protected datagram pays one MD5 pass over its body, the
+compress function is the datapath's single hottest loop and is written
+for CPython speed:
+
+* the 64 steps are fully unrolled into the four explicit 16-step rounds
+  of RFC 1321, with the sine constants inlined and the rotates expressed
+  as shift/or on locals (no helper calls, no per-step table indexing);
+* the round functions use the 3-op forms ``F = d ^ (b & (c ^ d))`` and
+  ``G = c ^ (d & (b ^ c))`` instead of the 4-op textbook forms;
+* buffered input lives in a ``bytearray`` consumed via an offset, so
+  streaming ``update`` calls are linear (the naive ``bytes`` reslice is
+  quadratic);
+* running state is an immutable tuple, so ``digest`` needs no clone: it
+  builds the whole RFC 1321 padding block in one shot and folds it into
+  a state copy-on-write.
 """
 
 from __future__ import annotations
 
-import math
 import struct
 
 __all__ = ["MD5", "md5", "DIGEST_SIZE"]
@@ -17,23 +32,161 @@ __all__ = ["MD5", "md5", "DIGEST_SIZE"]
 #: MD5 digest size in bytes (the paper's 128-bit MAC field).
 DIGEST_SIZE = 16
 
-# Per-round left-rotation amounts.
-_SHIFTS = (
-    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
-    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20,
-    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
-    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
-)
-
-# Sine-derived additive constants, as specified by RFC 1321.
-_K = tuple(int(abs(math.sin(i + 1)) * 2**32) & 0xFFFFFFFF for i in range(64))
-
 _INIT_STATE = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476)
 
+_WORDS16 = struct.Struct("<16I")
+_STATE4 = struct.Struct("<4I")
+_LENGTH8 = struct.Struct("<Q")
 
-def _rotl32(value: int, amount: int) -> int:
-    value &= 0xFFFFFFFF
-    return ((value << amount) | (value >> (32 - amount))) & 0xFFFFFFFF
+
+def _compress(state, block, offset=0):
+    """Fold one 64-byte block at ``offset`` into ``state`` (a 4-tuple)."""
+    x0, x1, x2, x3, x4, x5, x6, x7, x8, x9, x10, x11, x12, x13, x14, x15 = (
+        _WORDS16.unpack_from(block, offset)
+    )
+    a0, b0, c0, d0 = state
+    a = a0
+    b = b0
+    c = c0
+    d = d0
+    # Round 1.
+    t = (a + (d ^ (b & (c ^ d))) + 0xD76AA478 + x0) & 0xFFFFFFFF
+    a = b + ((t << 7) | (t >> 25))
+    t = (d + (c ^ (a & (b ^ c))) + 0xE8C7B756 + x1) & 0xFFFFFFFF
+    d = a + ((t << 12) | (t >> 20))
+    t = (c + (b ^ (d & (a ^ b))) + 0x242070DB + x2) & 0xFFFFFFFF
+    c = d + ((t << 17) | (t >> 15))
+    t = (b + (a ^ (c & (d ^ a))) + 0xC1BDCEEE + x3) & 0xFFFFFFFF
+    b = c + ((t << 22) | (t >> 10))
+    t = (a + (d ^ (b & (c ^ d))) + 0xF57C0FAF + x4) & 0xFFFFFFFF
+    a = b + ((t << 7) | (t >> 25))
+    t = (d + (c ^ (a & (b ^ c))) + 0x4787C62A + x5) & 0xFFFFFFFF
+    d = a + ((t << 12) | (t >> 20))
+    t = (c + (b ^ (d & (a ^ b))) + 0xA8304613 + x6) & 0xFFFFFFFF
+    c = d + ((t << 17) | (t >> 15))
+    t = (b + (a ^ (c & (d ^ a))) + 0xFD469501 + x7) & 0xFFFFFFFF
+    b = c + ((t << 22) | (t >> 10))
+    t = (a + (d ^ (b & (c ^ d))) + 0x698098D8 + x8) & 0xFFFFFFFF
+    a = b + ((t << 7) | (t >> 25))
+    t = (d + (c ^ (a & (b ^ c))) + 0x8B44F7AF + x9) & 0xFFFFFFFF
+    d = a + ((t << 12) | (t >> 20))
+    t = (c + (b ^ (d & (a ^ b))) + 0xFFFF5BB1 + x10) & 0xFFFFFFFF
+    c = d + ((t << 17) | (t >> 15))
+    t = (b + (a ^ (c & (d ^ a))) + 0x895CD7BE + x11) & 0xFFFFFFFF
+    b = c + ((t << 22) | (t >> 10))
+    t = (a + (d ^ (b & (c ^ d))) + 0x6B901122 + x12) & 0xFFFFFFFF
+    a = b + ((t << 7) | (t >> 25))
+    t = (d + (c ^ (a & (b ^ c))) + 0xFD987193 + x13) & 0xFFFFFFFF
+    d = a + ((t << 12) | (t >> 20))
+    t = (c + (b ^ (d & (a ^ b))) + 0xA679438E + x14) & 0xFFFFFFFF
+    c = d + ((t << 17) | (t >> 15))
+    t = (b + (a ^ (c & (d ^ a))) + 0x49B40821 + x15) & 0xFFFFFFFF
+    b = c + ((t << 22) | (t >> 10))
+    # Round 2.
+    t = (a + (c ^ (d & (b ^ c))) + 0xF61E2562 + x1) & 0xFFFFFFFF
+    a = b + ((t << 5) | (t >> 27))
+    t = (d + (b ^ (c & (a ^ b))) + 0xC040B340 + x6) & 0xFFFFFFFF
+    d = a + ((t << 9) | (t >> 23))
+    t = (c + (a ^ (b & (d ^ a))) + 0x265E5A51 + x11) & 0xFFFFFFFF
+    c = d + ((t << 14) | (t >> 18))
+    t = (b + (d ^ (a & (c ^ d))) + 0xE9B6C7AA + x0) & 0xFFFFFFFF
+    b = c + ((t << 20) | (t >> 12))
+    t = (a + (c ^ (d & (b ^ c))) + 0xD62F105D + x5) & 0xFFFFFFFF
+    a = b + ((t << 5) | (t >> 27))
+    t = (d + (b ^ (c & (a ^ b))) + 0x02441453 + x10) & 0xFFFFFFFF
+    d = a + ((t << 9) | (t >> 23))
+    t = (c + (a ^ (b & (d ^ a))) + 0xD8A1E681 + x15) & 0xFFFFFFFF
+    c = d + ((t << 14) | (t >> 18))
+    t = (b + (d ^ (a & (c ^ d))) + 0xE7D3FBC8 + x4) & 0xFFFFFFFF
+    b = c + ((t << 20) | (t >> 12))
+    t = (a + (c ^ (d & (b ^ c))) + 0x21E1CDE6 + x9) & 0xFFFFFFFF
+    a = b + ((t << 5) | (t >> 27))
+    t = (d + (b ^ (c & (a ^ b))) + 0xC33707D6 + x14) & 0xFFFFFFFF
+    d = a + ((t << 9) | (t >> 23))
+    t = (c + (a ^ (b & (d ^ a))) + 0xF4D50D87 + x3) & 0xFFFFFFFF
+    c = d + ((t << 14) | (t >> 18))
+    t = (b + (d ^ (a & (c ^ d))) + 0x455A14ED + x8) & 0xFFFFFFFF
+    b = c + ((t << 20) | (t >> 12))
+    t = (a + (c ^ (d & (b ^ c))) + 0xA9E3E905 + x13) & 0xFFFFFFFF
+    a = b + ((t << 5) | (t >> 27))
+    t = (d + (b ^ (c & (a ^ b))) + 0xFCEFA3F8 + x2) & 0xFFFFFFFF
+    d = a + ((t << 9) | (t >> 23))
+    t = (c + (a ^ (b & (d ^ a))) + 0x676F02D9 + x7) & 0xFFFFFFFF
+    c = d + ((t << 14) | (t >> 18))
+    t = (b + (d ^ (a & (c ^ d))) + 0x8D2A4C8A + x12) & 0xFFFFFFFF
+    b = c + ((t << 20) | (t >> 12))
+    # Round 3.
+    t = (a + (b ^ c ^ d) + 0xFFFA3942 + x5) & 0xFFFFFFFF
+    a = b + ((t << 4) | (t >> 28))
+    t = (d + (a ^ b ^ c) + 0x8771F681 + x8) & 0xFFFFFFFF
+    d = a + ((t << 11) | (t >> 21))
+    t = (c + (d ^ a ^ b) + 0x6D9D6122 + x11) & 0xFFFFFFFF
+    c = d + ((t << 16) | (t >> 16))
+    t = (b + (c ^ d ^ a) + 0xFDE5380C + x14) & 0xFFFFFFFF
+    b = c + ((t << 23) | (t >> 9))
+    t = (a + (b ^ c ^ d) + 0xA4BEEA44 + x1) & 0xFFFFFFFF
+    a = b + ((t << 4) | (t >> 28))
+    t = (d + (a ^ b ^ c) + 0x4BDECFA9 + x4) & 0xFFFFFFFF
+    d = a + ((t << 11) | (t >> 21))
+    t = (c + (d ^ a ^ b) + 0xF6BB4B60 + x7) & 0xFFFFFFFF
+    c = d + ((t << 16) | (t >> 16))
+    t = (b + (c ^ d ^ a) + 0xBEBFBC70 + x10) & 0xFFFFFFFF
+    b = c + ((t << 23) | (t >> 9))
+    t = (a + (b ^ c ^ d) + 0x289B7EC6 + x13) & 0xFFFFFFFF
+    a = b + ((t << 4) | (t >> 28))
+    t = (d + (a ^ b ^ c) + 0xEAA127FA + x0) & 0xFFFFFFFF
+    d = a + ((t << 11) | (t >> 21))
+    t = (c + (d ^ a ^ b) + 0xD4EF3085 + x3) & 0xFFFFFFFF
+    c = d + ((t << 16) | (t >> 16))
+    t = (b + (c ^ d ^ a) + 0x04881D05 + x6) & 0xFFFFFFFF
+    b = c + ((t << 23) | (t >> 9))
+    t = (a + (b ^ c ^ d) + 0xD9D4D039 + x9) & 0xFFFFFFFF
+    a = b + ((t << 4) | (t >> 28))
+    t = (d + (a ^ b ^ c) + 0xE6DB99E5 + x12) & 0xFFFFFFFF
+    d = a + ((t << 11) | (t >> 21))
+    t = (c + (d ^ a ^ b) + 0x1FA27CF8 + x15) & 0xFFFFFFFF
+    c = d + ((t << 16) | (t >> 16))
+    t = (b + (c ^ d ^ a) + 0xC4AC5665 + x2) & 0xFFFFFFFF
+    b = c + ((t << 23) | (t >> 9))
+    # Round 4.
+    t = (a + (c ^ (b | (d ^ 0xFFFFFFFF))) + 0xF4292244 + x0) & 0xFFFFFFFF
+    a = b + ((t << 6) | (t >> 26))
+    t = (d + (b ^ (a | (c ^ 0xFFFFFFFF))) + 0x432AFF97 + x7) & 0xFFFFFFFF
+    d = a + ((t << 10) | (t >> 22))
+    t = (c + (a ^ (d | (b ^ 0xFFFFFFFF))) + 0xAB9423A7 + x14) & 0xFFFFFFFF
+    c = d + ((t << 15) | (t >> 17))
+    t = (b + (d ^ (c | (a ^ 0xFFFFFFFF))) + 0xFC93A039 + x5) & 0xFFFFFFFF
+    b = c + ((t << 21) | (t >> 11))
+    t = (a + (c ^ (b | (d ^ 0xFFFFFFFF))) + 0x655B59C3 + x12) & 0xFFFFFFFF
+    a = b + ((t << 6) | (t >> 26))
+    t = (d + (b ^ (a | (c ^ 0xFFFFFFFF))) + 0x8F0CCC92 + x3) & 0xFFFFFFFF
+    d = a + ((t << 10) | (t >> 22))
+    t = (c + (a ^ (d | (b ^ 0xFFFFFFFF))) + 0xFFEFF47D + x10) & 0xFFFFFFFF
+    c = d + ((t << 15) | (t >> 17))
+    t = (b + (d ^ (c | (a ^ 0xFFFFFFFF))) + 0x85845DD1 + x1) & 0xFFFFFFFF
+    b = c + ((t << 21) | (t >> 11))
+    t = (a + (c ^ (b | (d ^ 0xFFFFFFFF))) + 0x6FA87E4F + x8) & 0xFFFFFFFF
+    a = b + ((t << 6) | (t >> 26))
+    t = (d + (b ^ (a | (c ^ 0xFFFFFFFF))) + 0xFE2CE6E0 + x15) & 0xFFFFFFFF
+    d = a + ((t << 10) | (t >> 22))
+    t = (c + (a ^ (d | (b ^ 0xFFFFFFFF))) + 0xA3014314 + x6) & 0xFFFFFFFF
+    c = d + ((t << 15) | (t >> 17))
+    t = (b + (d ^ (c | (a ^ 0xFFFFFFFF))) + 0x4E0811A1 + x13) & 0xFFFFFFFF
+    b = c + ((t << 21) | (t >> 11))
+    t = (a + (c ^ (b | (d ^ 0xFFFFFFFF))) + 0xF7537E82 + x4) & 0xFFFFFFFF
+    a = b + ((t << 6) | (t >> 26))
+    t = (d + (b ^ (a | (c ^ 0xFFFFFFFF))) + 0xBD3AF235 + x11) & 0xFFFFFFFF
+    d = a + ((t << 10) | (t >> 22))
+    t = (c + (a ^ (d | (b ^ 0xFFFFFFFF))) + 0x2AD7D2BB + x2) & 0xFFFFFFFF
+    c = d + ((t << 15) | (t >> 17))
+    t = (b + (d ^ (c | (a ^ 0xFFFFFFFF))) + 0xEB86D391 + x9) & 0xFFFFFFFF
+    b = c + ((t << 21) | (t >> 11))
+    return (
+        (a0 + a) & 0xFFFFFFFF,
+        (b0 + b) & 0xFFFFFFFF,
+        (c0 + c) & 0xFFFFFFFF,
+        (d0 + d) & 0xFFFFFFFF,
+    )
 
 
 class MD5:
@@ -43,9 +196,11 @@ class MD5:
     block_size = 64
     name = "md5"
 
+    __slots__ = ("_state", "_buffer", "_length")
+
     def __init__(self, data: bytes = b"") -> None:
-        self._state = list(_INIT_STATE)
-        self._buffer = b""
+        self._state = _INIT_STATE
+        self._buffer = bytearray()
         self._length = 0
         if data:
             self.update(data)
@@ -53,52 +208,34 @@ class MD5:
     def update(self, data: bytes) -> None:
         """Absorb more message bytes."""
         self._length += len(data)
-        self._buffer += data
-        while len(self._buffer) >= 64:
-            self._compress(self._buffer[:64])
-            self._buffer = self._buffer[64:]
-
-    def _compress(self, chunk: bytes) -> None:
-        words = struct.unpack("<16I", chunk)
-        a, b, c, d = self._state
-        for i in range(64):
-            if i < 16:
-                f = (b & c) | (~b & d)
-                g = i
-            elif i < 32:
-                f = (d & b) | (~d & c)
-                g = (5 * i + 1) % 16
-            elif i < 48:
-                f = b ^ c ^ d
-                g = (3 * i + 5) % 16
-            else:
-                f = c ^ (b | (~d & 0xFFFFFFFF))
-                g = (7 * i) % 16
-            temp = d
-            d = c
-            c = b
-            rotated = _rotl32(a + f + _K[i] + words[g], _SHIFTS[i])
-            b = (b + rotated) & 0xFFFFFFFF
-            a = temp
-        self._state = [
-            (self._state[0] + a) & 0xFFFFFFFF,
-            (self._state[1] + b) & 0xFFFFFFFF,
-            (self._state[2] + c) & 0xFFFFFFFF,
-            (self._state[3] + d) & 0xFFFFFFFF,
-        ]
+        buffer = self._buffer
+        buffer += data
+        end = len(buffer)
+        if end >= 64:
+            state = self._state
+            offset = 0
+            while offset + 64 <= end:
+                state = _compress(state, buffer, offset)
+                offset += 64
+            del buffer[:offset]
+            self._state = state
 
     def digest(self) -> bytes:
         """Return the 16-byte digest of everything absorbed so far."""
-        clone = self.copy()
-        bit_length = (clone._length * 8) & 0xFFFFFFFFFFFFFFFF
-        clone.update(b"\x80")
-        while len(clone._buffer) != 56:
-            clone.update(b"\x00")
-        # Bypass update() for the length block: the length has already
-        # been captured.
-        clone._buffer += struct.pack("<Q", bit_length)
-        clone._compress(clone._buffer)
-        return struct.pack("<4I", *clone._state)
+        # One-shot RFC 1321 padding: 0x80, zeros to 56 mod 64, then the
+        # 64-bit bit length.  The running state is an immutable tuple,
+        # so finalizing never mutates (or clones) the live object.
+        length = self._length
+        tail = (
+            bytes(self._buffer)
+            + b"\x80"
+            + b"\x00" * ((55 - length) % 64)
+            + _LENGTH8.pack((length * 8) & 0xFFFFFFFFFFFFFFFF)
+        )
+        state = self._state
+        for offset in range(0, len(tail), 64):
+            state = _compress(state, tail, offset)
+        return _STATE4.pack(*state)
 
     def hexdigest(self) -> str:
         """Return the digest as a lowercase hex string."""
@@ -106,9 +243,9 @@ class MD5:
 
     def copy(self) -> "MD5":
         """Return an independent copy of the running state."""
-        clone = MD5()
-        clone._state = list(self._state)
-        clone._buffer = self._buffer
+        clone = MD5.__new__(MD5)
+        clone._state = self._state
+        clone._buffer = bytearray(self._buffer)
         clone._length = self._length
         return clone
 

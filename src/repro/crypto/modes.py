@@ -20,9 +20,10 @@ after decryption.  CFB and OFB are stream-like and need no padding.
 from __future__ import annotations
 
 import enum
+import struct
 from typing import Callable
 
-from repro.crypto.des import BLOCK_SIZE, DES
+from repro.crypto.des import BLOCK_SIZE, DES, _crypt
 
 __all__ = [
     "CipherMode",
@@ -52,6 +53,15 @@ class CipherMode(enum.Enum):
 
 def _xor(a: bytes, b: bytes) -> bytes:
     return bytes(x ^ y for x, y in zip(a, b))
+
+
+# The mode loops below stay in int space end to end: the whole buffer is
+# unpacked into 64-bit ints with a single struct call, each block is one
+# direct ``_crypt`` invocation against the cipher's precomputed schedule
+# (no per-block method dispatch), and the output is repacked with a
+# single struct call.  Per-block slicing, ``int.from_bytes``/``to_bytes``
+# and per-byte generator XORs were the dominant cost of the previous
+# byte-oriented loops.
 
 
 def pad_block(data: bytes) -> bytes:
@@ -98,21 +108,28 @@ def encrypt_ecb_confounded(cipher: DES, confounder: bytes, plaintext: bytes) -> 
     """ECB where the confounder is XOR'ed into every plaintext block."""
     _check_iv(confounder)
     padded = pad_block(plaintext)
-    out = bytearray()
-    for i in range(0, len(padded), BLOCK_SIZE):
-        block = _xor(padded[i : i + BLOCK_SIZE], confounder)
-        out += cipher.encrypt_block(block)
-    return bytes(out)
+    mask = int.from_bytes(confounder, "big")
+    subkeys = cipher.subkeys
+    fmt = ">%dQ" % (len(padded) // BLOCK_SIZE)
+    return struct.pack(
+        fmt, *[_crypt(value ^ mask, subkeys) for value in struct.unpack(fmt, padded)]
+    )
 
 
 def decrypt_ecb_confounded(cipher: DES, confounder: bytes, ciphertext: bytes) -> bytes:
     """Inverse of :func:`encrypt_ecb_confounded`."""
     _check_iv(confounder)
-    out = bytearray()
-    for i in range(0, len(ciphertext), BLOCK_SIZE):
-        block = cipher.decrypt_block(ciphertext[i : i + BLOCK_SIZE])
-        out += _xor(block, confounder)
-    return unpad_block(bytes(out))
+    if not ciphertext or len(ciphertext) % BLOCK_SIZE:
+        raise ValueError("ciphertext not a whole number of blocks")
+    mask = int.from_bytes(confounder, "big")
+    subkeys = cipher.subkeys_rev
+    fmt = ">%dQ" % (len(ciphertext) // BLOCK_SIZE)
+    return unpad_block(
+        struct.pack(
+            fmt,
+            *[_crypt(value, subkeys) ^ mask for value in struct.unpack(fmt, ciphertext)],
+        )
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -123,12 +140,15 @@ def encrypt_cbc(cipher: DES, iv: bytes, plaintext: bytes) -> bytes:
     """CBC encryption; the confounder is the IV."""
     _check_iv(iv)
     padded = pad_block(plaintext)
-    out = bytearray()
-    chain = iv
-    for i in range(0, len(padded), BLOCK_SIZE):
-        chain = cipher.encrypt_block(_xor(padded[i : i + BLOCK_SIZE], chain))
-        out += chain
-    return bytes(out)
+    subkeys = cipher.subkeys
+    fmt = ">%dQ" % (len(padded) // BLOCK_SIZE)
+    chain = int.from_bytes(iv, "big")
+    out = []
+    append = out.append
+    for value in struct.unpack(fmt, padded):
+        chain = _crypt(value ^ chain, subkeys)
+        append(chain)
+    return struct.pack(fmt, *out)
 
 
 def decrypt_cbc(cipher: DES, iv: bytes, ciphertext: bytes) -> bytes:
@@ -136,13 +156,15 @@ def decrypt_cbc(cipher: DES, iv: bytes, ciphertext: bytes) -> bytes:
     _check_iv(iv)
     if len(ciphertext) % BLOCK_SIZE:
         raise ValueError("ciphertext not a whole number of blocks")
-    out = bytearray()
-    chain = iv
-    for i in range(0, len(ciphertext), BLOCK_SIZE):
-        block = ciphertext[i : i + BLOCK_SIZE]
-        out += _xor(cipher.decrypt_block(block), chain)
-        chain = block
-    return unpad_block(bytes(out))
+    subkeys = cipher.subkeys_rev
+    fmt = ">%dQ" % (len(ciphertext) // BLOCK_SIZE)
+    chain = int.from_bytes(iv, "big")
+    out = []
+    append = out.append
+    for value in struct.unpack(fmt, ciphertext):
+        append(_crypt(value, subkeys) ^ chain)
+        chain = value
+    return unpad_block(struct.pack(fmt, *out))
 
 
 # ---------------------------------------------------------------------------
@@ -150,42 +172,68 @@ def decrypt_cbc(cipher: DES, iv: bytes, ciphertext: bytes) -> bytes:
 # ---------------------------------------------------------------------------
 
 def encrypt_cfb(cipher: DES, iv: bytes, plaintext: bytes) -> bytes:
-    """Full-block CFB encryption."""
+    """Full-block CFB encryption.
+
+    A trailing partial chunk is XOR'ed against the leading keystream
+    bytes (ciphertext stealing is not needed: the chunk ends the
+    message, so the chain value it would form is never consumed).
+    """
     _check_iv(iv)
-    out = bytearray()
-    chain = iv
-    for i in range(0, len(plaintext), BLOCK_SIZE):
-        keystream = cipher.encrypt_block(chain)
-        chunk = plaintext[i : i + BLOCK_SIZE]
-        enc = _xor(chunk, keystream[: len(chunk)])
-        out += enc
-        chain = (enc + chain)[:BLOCK_SIZE] if len(enc) < BLOCK_SIZE else enc
-    return bytes(out)
+    subkeys = cipher.subkeys
+    nfull = len(plaintext) // BLOCK_SIZE
+    fmt = ">%dQ" % nfull
+    chain = int.from_bytes(iv, "big")
+    out = []
+    append = out.append
+    for value in struct.unpack_from(fmt, plaintext):
+        chain = _crypt(chain, subkeys) ^ value
+        append(chain)
+    encrypted = struct.pack(fmt, *out)
+    tail = plaintext[nfull * BLOCK_SIZE :]
+    if tail:
+        keystream = _crypt(chain, subkeys).to_bytes(BLOCK_SIZE, "big")
+        encrypted += _xor(tail, keystream)
+    return encrypted
 
 
 def decrypt_cfb(cipher: DES, iv: bytes, ciphertext: bytes) -> bytes:
     """Full-block CFB decryption."""
     _check_iv(iv)
-    out = bytearray()
-    chain = iv
-    for i in range(0, len(ciphertext), BLOCK_SIZE):
-        keystream = cipher.encrypt_block(chain)
-        chunk = ciphertext[i : i + BLOCK_SIZE]
-        out += _xor(chunk, keystream[: len(chunk)])
-        chain = (chunk + chain)[:BLOCK_SIZE] if len(chunk) < BLOCK_SIZE else chunk
-    return bytes(out)
+    subkeys = cipher.subkeys
+    nfull = len(ciphertext) // BLOCK_SIZE
+    fmt = ">%dQ" % nfull
+    chain = int.from_bytes(iv, "big")
+    out = []
+    append = out.append
+    for value in struct.unpack_from(fmt, ciphertext):
+        append(_crypt(chain, subkeys) ^ value)
+        chain = value
+    plaintext = struct.pack(fmt, *out)
+    tail = ciphertext[nfull * BLOCK_SIZE :]
+    if tail:
+        keystream = _crypt(chain, subkeys).to_bytes(BLOCK_SIZE, "big")
+        plaintext += _xor(tail, keystream)
+    return plaintext
 
 
 def encrypt_ofb(cipher: DES, iv: bytes, plaintext: bytes) -> bytes:
     """OFB encryption (symmetric with decryption)."""
     _check_iv(iv)
-    out = bytearray()
-    feedback = iv
-    for i in range(0, len(plaintext), BLOCK_SIZE):
-        feedback = cipher.encrypt_block(feedback)
-        chunk = plaintext[i : i + BLOCK_SIZE]
-        out += _xor(chunk, feedback[: len(chunk)])
-    return bytes(out)
+    subkeys = cipher.subkeys
+    nfull = len(plaintext) // BLOCK_SIZE
+    fmt = ">%dQ" % nfull
+    feedback = int.from_bytes(iv, "big")
+    out = []
+    append = out.append
+    for value in struct.unpack_from(fmt, plaintext):
+        feedback = _crypt(feedback, subkeys)
+        append(value ^ feedback)
+    encrypted = struct.pack(fmt, *out)
+    tail = plaintext[nfull * BLOCK_SIZE :]
+    if tail:
+        feedback = _crypt(feedback, subkeys)
+        encrypted += _xor(tail, feedback.to_bytes(BLOCK_SIZE, "big"))
+    return encrypted
 
 
 def decrypt_ofb(cipher: DES, iv: bytes, ciphertext: bytes) -> bytes:

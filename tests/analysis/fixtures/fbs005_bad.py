@@ -34,3 +34,17 @@ class FBSHeader:
         offset += mac_bytes
         (timestamp,) = struct.unpack_from(">I", data, offset)
         return cls(sfl, confounder, mac, timestamp)
+
+
+# Precompiled codecs must not hide the widths from the rule.
+_SFL_CONFOUNDER = struct.Struct(">II")  # wrong: sfl is 64 bits on the wire
+_TIMESTAMP = struct.Struct(">Q")  # wrong: timestamp is 32 bits
+
+
+def encode_fast(header):
+    return _SFL_CONFOUNDER.pack(header.sfl, header.confounder) + header.mac
+
+
+def decode_timestamp_fast(data, offset):
+    (timestamp,) = _TIMESTAMP.unpack_from(data, offset)
+    return timestamp

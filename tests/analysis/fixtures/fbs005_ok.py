@@ -34,3 +34,27 @@ class FBSHeader:
         offset += mac_bytes
         (timestamp,) = struct.unpack_from(">I", data, offset)
         return cls(sfl, confounder, mac, timestamp)
+
+
+# The precompiled-codec spelling (the fast-path idiom): same widths,
+# reached through struct.Struct bindings instead of format arguments.
+_SFL_CONFOUNDER = struct.Struct(">QI")
+_TIMESTAMP = struct.Struct(">I")
+
+
+def encode_fast(header):
+    return (
+        _SFL_CONFOUNDER.pack(header.sfl, header.confounder)
+        + header.mac
+        + _TIMESTAMP.pack(header.timestamp)
+    )
+
+
+def decode_fast(data, mac_bytes=16):
+    offset = 0
+    sfl, confounder = _SFL_CONFOUNDER.unpack_from(data, offset)
+    offset += 12
+    mac = data[offset : offset + mac_bytes]
+    offset += mac_bytes
+    (timestamp,) = _TIMESTAMP.unpack_from(data, offset)
+    return sfl, confounder, mac, timestamp

@@ -16,7 +16,7 @@ CASES = {
     "FBS002": ("src/repro/netsim/badclock.py", 3),
     "FBS003": ("src/repro/core/jitter.py", 2),
     "FBS004": ("src/repro/baselines/guard.py", 1),
-    "FBS005": ("src/repro/core/header.py", 4),
+    "FBS005": ("src/repro/core/header.py", 6),
     "FBS006": ("src/repro/baselines/receiver.py", 3),
     "FBS007": ("src/repro/core/protocol.py", 3),
 }

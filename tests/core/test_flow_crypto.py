@@ -1,0 +1,159 @@
+"""FlowCryptoState: the per-flow crypto cache level (Figure 6 fast path).
+
+Three contracts:
+
+* **Equivalence** -- ``FlowCryptoState.mac`` is bit-identical to the
+  generic ``suite.mac.func(mac_key, data)`` construction for every
+  :class:`MacAlgorithm`, and its lazy cipher is the same DES instance
+  the generic path would build.
+* **Zero-work cache hits** -- once the TFKC/RFKC are warm, a protected
+  datagram performs zero flow-key derivations, zero crypto-state builds
+  and zero DES key-schedule constructions (Section 5.3: "only MAC
+  computation and encryption").
+* **Soft state** -- ``flush_all_caches()`` drops the state with the
+  key; endpoints still interoperate when flushed between every datagram.
+"""
+
+import pytest
+
+from repro.core.config import AlgorithmSuite, FBSConfig, MacAlgorithm
+from repro.core.deploy import FBSDomain
+from repro.core.keying import FlowCryptoState, KeyDerivation, Principal
+from repro.crypto.des import DES
+
+
+class Clock:
+    def __init__(self, start=0.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+
+def make_pair(config=None, seed=0):
+    clock = Clock()
+    domain = FBSDomain(seed=seed, config=config or FBSConfig())
+    alice = domain.make_endpoint(Principal.from_name("alice"), now=clock)
+    bob = domain.make_endpoint(Principal.from_name("bob"), now=clock)
+    return alice, bob, clock
+
+
+def suite_for(alg):
+    """A valid suite for the algorithm (DES-CBC-MAC tags are 64-bit)."""
+    if alg is MacAlgorithm.DES_MAC:
+        return AlgorithmSuite(mac=alg, mac_bits=64)
+    return AlgorithmSuite(mac=alg)
+
+
+def keying_work(alice, bob):
+    """(flow-key derivations, state builds, DES schedule builds)."""
+    return (
+        alice.metrics.send_flow_key_derivations
+        + bob.metrics.receive_flow_key_derivations,
+        alice.metrics.crypto_state_builds + bob.metrics.crypto_state_builds,
+        DES.schedule_builds,
+    )
+
+
+class TestMacEquivalence:
+    @pytest.mark.parametrize("alg", list(MacAlgorithm))
+    def test_state_mac_matches_generic_construction(self, alg):
+        suite = suite_for(alg)
+        flow_key = bytes(range(16))
+        state = FlowCryptoState(flow_key, suite)
+        for data in (b"", b"x", b"datagram body " * 37):
+            generic = suite.mac.func(KeyDerivation.mac_key(flow_key), data)
+            assert state.mac(data) == generic[: suite.mac_bytes]
+
+    @pytest.mark.parametrize("alg", list(MacAlgorithm))
+    def test_state_mac_is_reusable(self, alg):
+        # The precomputed prefix/pad states must not be consumed by use.
+        state = FlowCryptoState(b"\x5a" * 16, suite_for(alg))
+        first = state.mac(b"payload one")
+        state.mac(b"payload two")
+        assert state.mac(b"payload one") == first
+
+    def test_cipher_is_lazy_and_cached(self):
+        flow_key = bytes(range(16, 32))
+        before = DES.schedule_builds
+        state = FlowCryptoState(flow_key, AlgorithmSuite())
+        assert DES.schedule_builds == before  # nothing built yet
+        cipher = state.cipher
+        assert DES.schedule_builds == before + 1
+        assert state.cipher is cipher  # second access: same instance
+        assert DES.schedule_builds == before + 1
+        expected = DES(KeyDerivation.encryption_key(flow_key))
+        assert cipher.encrypt_block(bytes(8)) == expected.encrypt_block(bytes(8))
+
+
+class TestCacheHitFastPath:
+    @pytest.mark.parametrize("secret", [True, False])
+    def test_warm_datagram_does_zero_keying_work(self, secret):
+        alice, bob, _ = make_pair()
+        body = b"\xa5" * 200
+        for _ in range(3):  # warm FST, TFKC, RFKC, lazy cipher
+            wire = alice.protect(body, bob.principal, secret=secret)
+            bob.unprotect(wire, alice.principal, secret=secret)
+        before = keying_work(alice, bob)
+        wire = alice.protect(body, bob.principal, secret=secret)
+        assert bob.unprotect(wire, alice.principal, secret=secret) == body
+        assert keying_work(alice, bob) == before
+
+    def test_first_datagram_builds_state_once_per_side(self):
+        alice, bob, _ = make_pair()
+        wire = alice.protect(b"first", bob.principal, secret=True)
+        bob.unprotect(wire, alice.principal, secret=True)
+        assert alice.metrics.crypto_state_builds == 1
+        assert bob.metrics.crypto_state_builds == 1
+
+    def test_out_of_band_key_install_pins_state_on_entry(self):
+        # A TFKC entry installed without crypto state (the flowsim /
+        # direct-cache idiom) gets state built once on first use and
+        # pinned to the entry, not rebuilt per lookup.
+        alice, bob, _ = make_pair()
+        flow_key = bytes(range(16))
+        sfl = 0x1234
+        alice.tfkc.install(
+            sfl, bob.principal.wire_id, alice.principal.wire_id, flow_key
+        )
+        before = alice.metrics.crypto_state_builds
+        state = alice._send_flow_state(sfl, bob.principal)
+        assert state.flow_key == flow_key
+        assert alice.metrics.crypto_state_builds == before + 1
+        assert alice._send_flow_state(sfl, bob.principal) is state
+        assert alice.metrics.crypto_state_builds == before + 1
+
+
+class TestSoftState:
+    def test_flush_drops_crypto_state_with_the_key(self):
+        alice, bob, _ = make_pair()
+        wire = alice.protect(b"warm up", bob.principal, secret=True)
+        bob.unprotect(wire, alice.principal, secret=True)
+        states_before = keying_work(alice, bob)
+        alice.flush_all_caches()
+        bob.flush_all_caches()
+        wire = alice.protect(b"after flush", bob.principal, secret=True)
+        assert bob.unprotect(wire, alice.principal, secret=True) == b"after flush"
+        derivations, builds, schedules = keying_work(alice, bob)
+        # Everything was re-derived and rebuilt exactly once per side.
+        assert derivations == states_before[0] + 2
+        assert builds == states_before[1] + 2
+
+    @pytest.mark.parametrize("secret", [True, False])
+    def test_interop_with_flush_between_every_datagram(self, secret):
+        alice, bob, _ = make_pair()
+        for i in range(5):
+            body = bytes([i]) * (i * 40 + 1)
+            wire = alice.protect(body, bob.principal, secret=secret)
+            assert bob.unprotect(wire, alice.principal, secret=secret) == body
+            alice.flush_all_caches()
+            bob.flush_all_caches()
+
+    def test_one_sided_flush_interop(self):
+        # Receiver keeps its cache while the sender loses its own.
+        alice, bob, _ = make_pair()
+        for i in range(3):
+            body = f"datagram {i}".encode()
+            wire = alice.protect(body, bob.principal, secret=True)
+            assert bob.unprotect(wire, alice.principal, secret=True) == body
+            alice.flush_all_caches()

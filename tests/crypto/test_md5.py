@@ -68,3 +68,22 @@ class TestStreaming:
         assert h.digest_size == 16
         assert h.block_size == 64
         assert h.name == "md5"
+
+    def test_random_odd_chunks_match_hashlib(self):
+        # Streaming in randomly sized (often buffer-misaligned) chunks,
+        # with interleaved non-finalizing digest() calls, must agree
+        # with hashlib at every step.  This schedule would have caught
+        # the old digest() padding bug (clone mutation via repeated
+        # update(b"\x00") double-counting into the length field).
+        import random
+
+        rng = random.Random(1321)
+        for _ in range(10):
+            ours, theirs = MD5(), hashlib.md5()
+            for _ in range(rng.randrange(1, 20)):
+                chunk = rng.randbytes(rng.randrange(0, 200))
+                ours.update(chunk)
+                theirs.update(chunk)
+                if rng.random() < 0.3:
+                    assert ours.digest() == theirs.digest()
+            assert ours.digest() == theirs.digest()

@@ -54,3 +54,19 @@ class TestStreaming:
     def test_digest_size(self):
         assert SHA1().digest_size == 20
         assert len(sha1(b"x")) == 20
+
+    def test_random_odd_chunks_match_hashlib(self):
+        # Same schedule as the MD5 version: odd-sized chunks plus
+        # interleaved non-finalizing digest() calls against hashlib.
+        import random
+
+        rng = random.Random(180_1)
+        for _ in range(10):
+            ours, theirs = SHA1(), hashlib.sha1()
+            for _ in range(rng.randrange(1, 20)):
+                chunk = rng.randbytes(rng.randrange(0, 200))
+                ours.update(chunk)
+                theirs.update(chunk)
+                if rng.random() < 0.3:
+                    assert ours.digest() == theirs.digest()
+            assert ours.digest() == theirs.digest()
