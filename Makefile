@@ -6,7 +6,7 @@ PYTHON ?= python3
 # no editable install needed.
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test lint bench bench-smoke examples reports clean
+.PHONY: install test lint obs-check bench bench-smoke examples reports clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -14,10 +14,16 @@ install:
 test:
 	$(PYTHON) -m pytest -x -q
 
-# fbslint: the AST-based protocol-invariant analyzer (FBS001-FBS007).
+# fbslint: the AST-based protocol-invariant analyzer (FBS001-FBS008).
 # Exit codes: 0 clean, 1 findings, 2 usage/analysis error.
 lint:
 	$(PYTHON) -m repro.analysis src
+
+# Observability: end-to-end trace/registry/cache parity selftest plus
+# docs coverage (every event + metric documented) and link checks.
+obs-check:
+	$(PYTHON) -m repro.obs --selftest
+	$(PYTHON) -m repro.obs check-docs --root .
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -21,7 +21,11 @@ import json
 import pathlib
 import sys
 
-from repro.bench import render_datapath_report, run_datapath_bench
+from repro.bench import (
+    render_datapath_report,
+    run_datapath_bench,
+    write_roundtrip_trace,
+)
 
 DEFAULT_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_datapath.json"
 
@@ -58,12 +62,23 @@ def main(argv=None) -> int:
         metavar="PATH",
         help=f"where to write the JSON results (default: {DEFAULT_JSON})",
     )
+    parser.add_argument(
+        "--trace-out",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help="also write a JSONL event trace of 64 instrumented round "
+        "trips (inspect with 'python -m repro.obs summarize PATH')",
+    )
     args = parser.parse_args(argv)
     results = run_datapath_bench(profile="smoke" if args.smoke else "full")
     check_results(results)
     args.json.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
     print(render_datapath_report(results))
     print(f"\nwrote {args.json}")
+    if args.trace_out is not None:
+        events = write_roundtrip_trace(str(args.trace_out))
+        print(f"wrote {events} events to {args.trace_out}")
     return 0
 
 

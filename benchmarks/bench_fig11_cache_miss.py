@@ -7,7 +7,16 @@ of datagrams in a flow."
 The send side (TFKC) and receive side (RFKC) are measured from the file
 server's viewpoint -- the busiest host on the LAN, hence the worst case
 for cache pressure.
+
+Runs two ways: under pytest with the rest of the figure benches, or as
+a CLI -- ``python benchmarks/bench_fig11_cache_miss.py [--trace-out
+PATH]`` -- which can additionally write every cache event of the sweep
+as a JSONL trace (cache names carry a ``[size]`` suffix; summarize it
+with ``python -m repro.obs summarize PATH``).
 """
+
+import argparse
+import sys
 
 from repro.bench import render_table
 from repro.netsim.addresses import IPAddress
@@ -17,10 +26,12 @@ CACHE_SIZES = (2, 4, 8, 16, 32, 64, 128, 256)
 FILE_SERVER = IPAddress("10.1.0.250")
 
 
-def run_figure11(trace):
+def run_figure11(trace, sink=None):
     rows = []
     for size in CACHE_SIZES:
-        simulator = CacheSimulator(size, threshold=600.0)
+        simulator = CacheSimulator(
+            size, threshold=600.0, sink=sink, label=f"[{size}]"
+        )
         tfkc = simulator.send_side(trace, FILE_SERVER)
         rfkc = simulator.receive_side(trace, FILE_SERVER)
         rows.append(
@@ -65,3 +76,60 @@ def test_figure11_cache_miss(benchmark, lan_trace, report_writer):
         lan_trace, FILE_SERVER
     )
     assert two_way.miss_rate < tfkc_rates[-1] / 100  # floor vanishes
+
+
+def _lan_trace():
+    from repro.traces.workloads import CampusLanWorkload
+
+    try:
+        from conftest import LAN_CLIENTS, LAN_DURATION, LAN_SEED
+    except ImportError:  # run from outside benchmarks/
+        LAN_SEED, LAN_DURATION, LAN_CLIENTS = 42, 3600.0, 16
+    return CampusLanWorkload(
+        duration=LAN_DURATION, clients=LAN_CLIENTS, seed=LAN_SEED
+    ).generate()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Figure 11: key cache miss rate vs cache size"
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write the sweep's CacheHit/CacheMiss/CacheEvicted events "
+        "as a JSONL trace (one cache name per size, e.g. TFKC[32])",
+    )
+    args = parser.parse_args(argv)
+
+    trace = _lan_trace()
+    sink = None
+    if args.trace_out is not None:
+        from repro.obs import JsonlSink
+
+        sink = JsonlSink(args.trace_out)
+    try:
+        rows = run_figure11(trace, sink=sink)
+    finally:
+        if sink is not None:
+            sink.close()
+    print(
+        render_table(
+            [
+                "cache size",
+                "TFKC miss rate",
+                "TFKC collisions",
+                "RFKC miss rate",
+                "RFKC collisions",
+            ],
+            rows,
+        )
+    )
+    if sink is not None:
+        print(f"wrote {sink.events_written} events to {args.trace_out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,7 +3,16 @@
 Paper observation: "the number of simultaneous active flows in a host
 are not exceedingly high, and can be easily handled by a modern
 operating system kernel."
+
+Runs two ways: under pytest with the rest of the figure benches, or as
+a CLI -- ``python benchmarks/bench_fig12_active_flows.py [--trace-out
+PATH]`` -- which can additionally log every flow the exact simulator
+sees as a ``FlowStarted`` event (``t`` = flow start time) for
+``python -m repro.obs summarize``.
 """
+
+import argparse
+import sys
 
 from repro.bench import render_table
 from repro.netsim.addresses import IPAddress
@@ -46,3 +55,68 @@ def test_figure12_active_flows(benchmark, lan_trace, report_writer):
     # Kernel-manageable state: peaks in the hundreds, not millions.
     assert 0 < server_series.peak < 1000
     assert 0 < lan_series.peak < 5000
+
+
+def write_flow_trace(trace, destination, threshold=600.0) -> int:
+    """Log every exact-simulator flow as a ``FlowStarted`` event.
+
+    Events are stamped with the flow's start time, so a summarized
+    trace gives the Figure 12 flow-arrival picture; returns the number
+    of events written.
+    """
+    from repro.obs import FlowStarted, JsonlSink, Tracer
+    from repro.traces.flowsim import ExactFlowSimulator
+
+    flows = ExactFlowSimulator(threshold=threshold).run(trace)
+    clock = [0.0]
+    with JsonlSink(destination) as sink:
+        tracer = Tracer(sink, now=lambda: clock[0])
+        for flow in flows:
+            clock[0] = flow.start
+            tracer.emit(FlowStarted(sfl=flow.sfl))
+        return sink.events_written
+
+
+def _lan_trace():
+    from repro.traces.workloads import CampusLanWorkload
+
+    try:
+        from conftest import LAN_CLIENTS, LAN_DURATION, LAN_SEED
+    except ImportError:  # run from outside benchmarks/
+        LAN_SEED, LAN_DURATION, LAN_CLIENTS = 42, 3600.0, 16
+    return CampusLanWorkload(
+        duration=LAN_DURATION, clients=LAN_CLIENTS, seed=LAN_SEED
+    ).generate()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Figure 12: simultaneously active flows over time"
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write one FlowStarted event per flow (JSONL, t = start)",
+    )
+    args = parser.parse_args(argv)
+
+    trace = _lan_trace()
+    lan_series, server_series = run_figure12(trace)
+    rows = [
+        ("LAN-wide", f"{lan_series.mean:.1f}", lan_series.peak),
+        (
+            "file server (receive side)",
+            f"{server_series.mean:.1f}",
+            server_series.peak,
+        ),
+    ]
+    print(render_table(["viewpoint", "mean active flows", "peak"], rows))
+    if args.trace_out is not None:
+        events = write_flow_trace(trace, args.trace_out)
+        print(f"wrote {events} events to {args.trace_out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,8 +11,11 @@ This rule enforces it mechanically in ``repro.core.protocol`` and
 ``repro.baselines``: a ``raise`` of a :class:`ReceiveError` subclass
 (or a bare ``raise`` inside an ``except ReceiveError-subclass`` block)
 must be immediately preceded -- as its previous sibling statement, or
-the statement just before its enclosing block -- by an augmented
-``+=`` on an attribute path containing ``metrics``.
+the statement just before its enclosing block -- by either an augmented
+``+=`` on an attribute path containing ``metrics``, or a call whose
+name contains ``reject`` (the registry-era form: the engine's
+``self._rejected(reason, ...)`` helper bumps the labeled counter and
+emits the ``DatagramRejected`` event in one place).
 """
 
 from __future__ import annotations
@@ -24,7 +27,7 @@ from repro.analysis.base import Rule, dotted_name, register
 from repro.analysis.context import ModuleContext
 from repro.analysis.findings import Finding, Severity
 
-__all__ = ["MetricsBeforeRaiseRule"]
+__all__ = ["MetricsBeforeRaiseRule", "NoDirectMetricsBumpRule"]
 
 _RECEIVE_ERRORS = {
     "ReceiveError",
@@ -61,11 +64,18 @@ def _handler_names(handler: ast.ExceptHandler) -> Set[str]:
 
 
 def _is_metrics_bump(stmt: Optional[ast.stmt]) -> bool:
-    return (
+    if (
         isinstance(stmt, ast.AugAssign)
         and isinstance(stmt.op, ast.Add)
         and "metrics" in dotted_name(stmt.target).split(".")
-    )
+    ):
+        return True
+    # Registry-era form: a rejection-bookkeeping call, e.g.
+    # ``self._rejected("mac", header.sfl)``.
+    if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+        segments = dotted_name(stmt.value.func).split(".")
+        return bool(segments) and "reject" in segments[-1]
+    return False
 
 
 @register
@@ -123,4 +133,65 @@ class MetricsBeforeRaiseRule(Rule):
                     handler.body,
                     caught | _handler_names(handler),
                     preceding=prev,
+                )
+
+
+@register
+class NoDirectMetricsBumpRule(Rule):
+    """FBS008: the engine counts through the registry, not the facade.
+
+    ``FBSMetrics`` is now a property facade over the endpoint's
+    :class:`~repro.obs.registry.MetricsRegistry`; the instrumented
+    modules (protocol, caches, FAM, replay guard, keying) must update
+    bound registry instruments (``self._c_sent.inc()``) rather than
+    write through the facade (``self.metrics.datagrams_sent += 1``).
+    A facade write from the datapath bypasses the labeled canonical
+    counters' invariants -- rejection reasons stop being mutually
+    exclusive the moment two paths bump the same legacy field.
+    Tests and examples may still write facade fields freely; the rule
+    binds only the instrumented core modules.
+    """
+
+    rule_id = "FBS008"
+    name = "no-direct-metrics-bump"
+    severity = Severity.WARNING
+    description = (
+        "instrumented core modules must not write FBSMetrics fields "
+        "directly -- update bound registry instruments instead"
+    )
+    rationale = (
+        "facade writes bypass the canonical labeled counters "
+        "(ISSUE 3 observability contract)"
+    )
+
+    _SCOPED = (
+        ("core", "protocol"),
+        ("core", "caches"),
+        ("core", "fam"),
+        ("core", "replay_guard"),
+        ("core", "keying"),
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not any(ctx.is_module(*parts) for parts in self._SCOPED):
+            return
+        for node in ast.walk(ctx.tree):
+            target: Optional[ast.expr] = None
+            if isinstance(node, ast.AugAssign):
+                target = node.target
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+            if target is None:
+                continue
+            segments = dotted_name(target).split(".")
+            # Writing *through* the facade (``...metrics.<field>``) is
+            # the violation; assigning the facade itself
+            # (``self.metrics = FBSMetrics(...)``) is construction.
+            if "metrics" in segments[:-1]:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"direct write to {dotted_name(target)} -- bump a bound "
+                    "registry counter instead (FBSMetrics is a read facade "
+                    "for the datapath)",
                 )

@@ -12,6 +12,7 @@ from repro.bench.datapath import (
     PRE_PR_BASELINE,
     render_datapath_report,
     run_datapath_bench,
+    write_roundtrip_trace,
 )
 from repro.bench.throughput import (
     ThroughputResult,
@@ -35,4 +36,5 @@ __all__ = [
     "PRE_PR_BASELINE",
     "run_datapath_bench",
     "render_datapath_report",
+    "write_roundtrip_trace",
 ]

@@ -29,6 +29,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Generic, Hashable, List, Optional, Set, Tuple, TypeVar
 
 from repro.crypto.crc import CacheIndexHash, Crc32Hash
+from repro.obs.events import CacheEvicted, CacheHit, CacheMiss
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 __all__ = [
     "MissKind",
@@ -60,6 +62,9 @@ class CacheStats:
     cold_misses: int = 0
     capacity_misses: int = 0
     collision_misses: int = 0
+    #: Live entries displaced by an install (soft-state turnover; not a
+    #: lookup outcome, so it does not enter ``lookups``/``miss_rate``).
+    evictions: int = 0
 
     @property
     def misses(self) -> int:
@@ -122,6 +127,8 @@ class DirectMappedCache(Generic[V]):
         capacity: int,
         index_hash: Optional[CacheIndexHash] = None,
         classify_misses: bool = True,
+        tracer: Optional[Tracer] = None,
+        trace_name: str = "",
     ) -> None:
         if capacity < 1:
             raise ValueError("cache capacity must be at least 1")
@@ -130,18 +137,27 @@ class DirectMappedCache(Generic[V]):
         self._slots: List[Optional[Tuple[bytes, V]]] = [None] * capacity
         self.stats = CacheStats()
         self._classifier = _MissClassifier(capacity) if classify_misses else None
+        self.tracer = tracer or NULL_TRACER
+        self.trace_name = trace_name
 
     def get(self, key: bytes) -> Optional[V]:
         """Lookup; updates hit/miss statistics."""
         slot = self._hash.index(key, self.capacity)
         entry = self._slots[slot]
         hit = entry is not None and entry[0] == key
+        kind: Optional[MissKind] = None
         if self._classifier is not None:
             kind = self._classifier.classify_and_touch(key, hit)
-            if kind is not None:
-                self.stats.record_miss(kind)
         elif not hit:
-            self.stats.record_miss(MissKind.COLD)
+            kind = MissKind.COLD
+        if kind is not None:
+            self.stats.record_miss(kind)
+        tr = self.tracer
+        if tr.enabled and self.trace_name:
+            if hit:
+                tr.emit(CacheHit(cache=self.trace_name))
+            else:
+                tr.emit(CacheMiss(cache=self.trace_name, kind=kind.value))
         if hit:
             self.stats.hits += 1
             return entry[1]
@@ -150,6 +166,12 @@ class DirectMappedCache(Generic[V]):
     def put(self, key: bytes, value: V) -> None:
         """Install ``key``; evicts whatever shares its slot."""
         slot = self._hash.index(key, self.capacity)
+        previous = self._slots[slot]
+        if previous is not None and previous[0] != key:
+            self.stats.evictions += 1
+            tr = self.tracer
+            if tr.enabled and self.trace_name:
+                tr.emit(CacheEvicted(cache=self.trace_name))
         self._slots[slot] = (key, value)
 
     def invalidate(self, key: bytes) -> None:
@@ -179,6 +201,8 @@ class AssociativeCache(Generic[V]):
         ways: Optional[int] = None,
         index_hash: Optional[CacheIndexHash] = None,
         classify_misses: bool = True,
+        tracer: Optional[Tracer] = None,
+        trace_name: str = "",
     ) -> None:
         if capacity < 1:
             raise ValueError("cache capacity must be at least 1")
@@ -196,6 +220,8 @@ class AssociativeCache(Generic[V]):
         ]
         self.stats = CacheStats()
         self._classifier = _MissClassifier(capacity) if classify_misses else None
+        self.tracer = tracer or NULL_TRACER
+        self.trace_name = trace_name
 
     def _set_for(self, key: bytes) -> "OrderedDict[bytes, V]":
         return self._sets[self._hash.index(key, self.sets)]
@@ -204,12 +230,19 @@ class AssociativeCache(Generic[V]):
         """Lookup; updates LRU order and statistics."""
         bucket = self._set_for(key)
         hit = key in bucket
+        kind: Optional[MissKind] = None
         if self._classifier is not None:
             kind = self._classifier.classify_and_touch(key, hit)
-            if kind is not None:
-                self.stats.record_miss(kind)
         elif not hit:
-            self.stats.record_miss(MissKind.COLD)
+            kind = MissKind.COLD
+        if kind is not None:
+            self.stats.record_miss(kind)
+        tr = self.tracer
+        if tr.enabled and self.trace_name:
+            if hit:
+                tr.emit(CacheHit(cache=self.trace_name))
+            else:
+                tr.emit(CacheMiss(cache=self.trace_name, kind=kind.value))
         if hit:
             self.stats.hits += 1
             bucket.move_to_end(key)
@@ -225,6 +258,10 @@ class AssociativeCache(Generic[V]):
             return
         if len(bucket) >= self.ways:
             bucket.popitem(last=False)
+            self.stats.evictions += 1
+            tr = self.tracer
+            if tr.enabled and self.trace_name:
+                tr.emit(CacheEvicted(cache=self.trace_name))
         bucket[key] = value
 
     def invalidate(self, key: bytes) -> None:
@@ -281,18 +318,29 @@ class FlowKeyCache:
         index_hash: Optional[CacheIndexHash] = None,
         name: str = "TFKC",
         ways: int = 1,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.name = name
         if ways <= 1:
             # Direct-mapped: the paper's default ("the associativity of
             # the caches can not be too great" for O(1) software lookup).
-            self._cache = DirectMappedCache(capacity, index_hash=index_hash)
+            self._cache = DirectMappedCache(
+                capacity, index_hash=index_hash, tracer=tracer, trace_name=name
+            )
         else:
             # "Collision misses can be avoided by increasing the
             # associativity of the cache" (Section 5.3).
             self._cache = AssociativeCache(
-                capacity, ways=ways, index_hash=index_hash
+                capacity,
+                ways=ways,
+                index_hash=index_hash,
+                tracer=tracer,
+                trace_name=name,
             )
+
+    def set_tracer(self, tracer: Tracer) -> None:
+        """Attach (or replace) the event tracer for this cache."""
+        self._cache.tracer = tracer
 
     @staticmethod
     def _key(sfl: int, destination: bytes, source: bytes) -> bytes:
@@ -343,8 +391,16 @@ class MasterKeyCache:
     exponentiation.
     """
 
+    name = "MKC"
+
     def __init__(self, capacity: int) -> None:
-        self._cache: AssociativeCache[bytes] = AssociativeCache(capacity)
+        self._cache: AssociativeCache[bytes] = AssociativeCache(
+            capacity, trace_name=self.name
+        )
+
+    def set_tracer(self, tracer: Tracer) -> None:
+        """Attach (or replace) the event tracer for this cache."""
+        self._cache.tracer = tracer
 
     def lookup(self, principal_id: bytes) -> Optional[bytes]:
         """Return the cached K_{S,D} for a peer, if any."""
@@ -380,15 +436,26 @@ class PublicValueCache:
     property.
     """
 
+    name = "PVC"
+
     def __init__(self, capacity: int) -> None:
-        self._cache: AssociativeCache[object] = AssociativeCache(capacity)
+        self._cache: AssociativeCache[object] = AssociativeCache(
+            capacity, trace_name=self.name
+        )
         self._pinned: Dict[bytes, object] = {}
+
+    def set_tracer(self, tracer: Tracer) -> None:
+        """Attach (or replace) the event tracer for this cache."""
+        self._cache.tracer = tracer
 
     def lookup(self, principal_id: bytes) -> Optional[object]:
         """Return the cached certificate, if any (pinned entries first)."""
         pinned = self._pinned.get(principal_id)
         if pinned is not None:
             self._cache.stats.hits += 1
+            tr = self._cache.tracer
+            if tr.enabled:
+                tr.emit(CacheHit(cache=self.name))
             return pinned
         return self._cache.get(principal_id)
 

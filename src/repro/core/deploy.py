@@ -87,6 +87,8 @@ class FBSDomain:
         mapper=None,
         now=lambda: 0.0,
         sfl_seed: Optional[int] = None,
+        tracer=None,
+        registry=None,
     ) -> FBSEndpoint:
         """Enroll and build a ready-to-use abstract FBS endpoint."""
         mkd = self.enroll_principal(principal, now=now)
@@ -103,6 +105,8 @@ class FBSDomain:
             config=self.config,
             now=now,
             confounder_seed=self._enrolled * 7919,
+            tracer=tracer,
+            registry=registry,
         )
 
     # -- simulated hosts (IP mapping) ----------------------------------------------

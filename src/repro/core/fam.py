@@ -26,6 +26,8 @@ from typing import Callable, Dict, Optional, Protocol
 
 from repro.core.flows import FlowStateTable, FSTEntry, SflAllocator
 from repro.netsim.addresses import FiveTuple
+from repro.obs.events import FlowStarted
+from repro.obs.tracer import NULL_TRACER
 
 __all__ = ["DatagramAttributes", "Mapper", "Sweeper", "FlowAssociationMechanism"]
 
@@ -96,6 +98,9 @@ class FlowAssociationMechanism:
         self._sweep_interval = sweep_interval
         self._last_sweep = 0.0
         self.classifications = 0
+        #: Event tracer; the owning protocol engine replaces this with
+        #: its own so flow starts land in the endpoint's trace.
+        self.tracer = NULL_TRACER
 
     def classify(self, attributes: DatagramAttributes, now: float) -> FSTEntry:
         """FAM(P, ...): classify one datagram into a flow.
@@ -112,6 +117,10 @@ class FlowAssociationMechanism:
         entry = self.mapper.classify(attributes, now, self.fst, self.allocator)
         if not entry.valid:
             raise RuntimeError("mapper returned an invalid FST entry")
+        if entry.datagrams == 1:
+            tr = self.tracer
+            if tr.enabled:
+                tr.emit(FlowStarted(sfl=entry.sfl))
         return entry
 
     def active_flows(self, now: float, threshold: float) -> int:

@@ -112,6 +112,10 @@ class FlowStateTable:
         """All slots, in index order (the sweeper's scan)."""
         return self._entries
 
+    def occupancy(self) -> int:
+        """Number of valid slots, regardless of age (table load)."""
+        return sum(1 for e in self._entries if e.valid)
+
     def active_count(self, now: float, threshold: float) -> int:
         """Number of valid entries whose last use is within ``threshold``."""
         return sum(

@@ -100,6 +100,8 @@ class FBSIPMapping(SecurityModule):
         bypass_ports: Optional[Set[int]] = None,
         apply_tcp_fix: bool = True,
         sfl_seed: int = 0,
+        tracer=None,
+        registry=None,
     ) -> None:
         self.host = host
         self.config = config or FBSConfig()
@@ -123,12 +125,25 @@ class FBSIPMapping(SecurityModule):
             confounder_seed=sfl_seed ^ 0xC0FFEE,
             charge=lambda cost: host.charge_cpu(cost) and None,
             flow_key_cost=host.cost_model.flow_key_derivation,
+            tracer=tracer,
+            registry=registry,
         )
+        # MAC latency distribution under the host's cost model, fed per
+        # datagram from the same calibrated numbers the CPU is charged.
+        self._mac_histogram = self.endpoint.registry.histogram(
+            "mac_cost_seconds"
+        )
+        self.endpoint.registry.register_collector(self._collect_host)
         # Statistics.
         self.outbound_protected = 0
         self.inbound_accepted = 0
         self.inbound_rejected = 0
         self.bypassed = 0
+
+    def _collect_host(self) -> None:
+        self.endpoint.registry.gauge("host_cpu_seconds").set(
+            self.host.cpu_seconds_used
+        )
 
     # -- SecurityModule interface ------------------------------------------------
 
@@ -212,6 +227,8 @@ class FBSIPMapping(SecurityModule):
         """Charge the CPU for FBS work beyond the generic path."""
         model = self.host.cost_model
         mac_on = self.config.suite.mac is not MacAlgorithm.NULL
+        if mac_on:
+            self._mac_histogram.observe(model.md5(payload_bytes))
         if not mac_on and not secret:
             extra = model.fbs_per_packet  # the NOP configuration
         else:

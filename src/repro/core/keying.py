@@ -25,6 +25,7 @@ from typing import Union
 
 from repro.core.config import AlgorithmSuite, MacAlgorithm
 from repro.crypto.dh import DHGroup, DHPrivateKey
+from repro.obs.events import CryptoStateBuilt
 
 __all__ = ["Principal", "KeyDerivation", "FlowCryptoState"]
 
@@ -125,7 +126,9 @@ class FlowCryptoState:
 
     _HMAC_BLOCK = 64
 
-    def __init__(self, flow_key: bytes, suite: AlgorithmSuite) -> None:
+    def __init__(
+        self, flow_key: bytes, suite: AlgorithmSuite, tracer=None
+    ) -> None:
         self.flow_key = flow_key
         self.mac_key = KeyDerivation.mac_key(flow_key)
         self._mac_alg = suite.mac
@@ -144,6 +147,10 @@ class FlowCryptoState:
             key = key.ljust(self._HMAC_BLOCK, b"\x00")
             self._inner = hash_cls(bytes(k ^ 0x36 for k in key))
             self._outer = hash_cls(bytes(k ^ 0x5C for k in key))
+        # The tracer is used once and not stored (__slots__ stays lean):
+        # the event marks the construction itself.
+        if tracer is not None and tracer.enabled:
+            tracer.emit(CryptoStateBuilt())
 
     @staticmethod
     def _hash_cls(mac: MacAlgorithm):

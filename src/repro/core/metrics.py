@@ -1,39 +1,136 @@
-"""Protocol instrumentation counters."""
+"""Protocol instrumentation counters (a facade over the metrics registry).
+
+Historically ``FBSMetrics`` was a flat dataclass of integers bumped
+inline by the protocol engine.  The counters now live in a
+:class:`~repro.obs.registry.MetricsRegistry` under the names of
+:data:`~repro.obs.registry.METRIC_CATALOG` (labeled where the old
+fields flattened a dimension: rejection reasons, derivation side), and
+this class re-exposes the legacy field names as read/write properties
+over the registry so every existing caller -- tests, examples,
+benchmarks -- keeps working unchanged.
+
+Direct bumping of these fields from the protocol/cache modules is now
+a lint error (fbslint FBS008): the engine binds registry counters and
+increments those, which keeps every count available under its canonical
+name and makes the rejection reasons mutually exclusive by
+construction.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict
+from typing import Optional
+
+from repro.obs.registry import MetricsRegistry
 
 __all__ = ["FBSMetrics"]
 
 
-@dataclass
+def _counter_property(name: str, doc: str, **labels: str):
+    def fget(self: "FBSMetrics") -> int:
+        return self.registry.counter(name, **labels).value
+
+    def fset(self: "FBSMetrics", value: int) -> None:
+        self.registry.counter(name, **labels).value = value
+
+    return property(fget, fset, doc=doc)
+
+
 class FBSMetrics:
-    """Counters for one FBS endpoint (both halves)."""
+    """Counters for one FBS endpoint (both halves).
+
+    Every attribute is a view over the endpoint's registry; reading
+    returns the counter's current value and assigning overwrites it
+    (tests use assignment to set up scenarios).  The labeled registry
+    counters are the ground truth.
+    """
+
+    __slots__ = ("registry",)
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry or MetricsRegistry()
 
     # Send side.
-    datagrams_sent: int = 0
-    bytes_protected: int = 0
-    flows_started: int = 0
-    send_flow_key_derivations: int = 0
-    encryptions: int = 0
+    datagrams_sent = _counter_property(
+        "datagrams_sent", "Datagrams protected by FBSSend."
+    )
+    bytes_protected = _counter_property(
+        "bytes_protected", "Payload bytes through FBSSend."
+    )
+    flows_started = _counter_property(
+        "flows_started", "New flows classified by the FAM."
+    )
+    send_flow_key_derivations = _counter_property(
+        "flow_key_derivations",
+        "K_f derivations on the send path (flow_key_derivations{side=send}).",
+        side="send",
+    )
+    encryptions = _counter_property(
+        "encryptions", "Datagram bodies encrypted."
+    )
     #: FlowCryptoState constructions (both halves).  On a TFKC/RFKC hit
     #: this must stay flat: zero derivations, zero key schedules, zero
     #: state builds -- the Figure 6 fast-path contract.
-    crypto_state_builds: int = 0
+    crypto_state_builds = _counter_property(
+        "crypto_state_builds", "FlowCryptoState constructions (both halves)."
+    )
 
     # Receive side.
-    datagrams_received: int = 0
-    datagrams_accepted: int = 0
-    bytes_accepted: int = 0
-    receive_flow_key_derivations: int = 0
-    decryptions: int = 0
-    stale_timestamps: int = 0
-    mac_failures: int = 0
-    header_errors: int = 0
-    keying_failures: int = 0
+    datagrams_received = _counter_property(
+        "datagrams_received", "Datagrams presented to FBSReceive."
+    )
+    datagrams_accepted = _counter_property(
+        "datagrams_accepted", "Datagrams delivered by FBSReceive (R12)."
+    )
+    bytes_accepted = _counter_property(
+        "bytes_accepted", "Payload bytes delivered by FBSReceive."
+    )
+    receive_flow_key_derivations = _counter_property(
+        "flow_key_derivations",
+        "K_f derivations on the receive path "
+        "(flow_key_derivations{side=receive}).",
+        side="receive",
+    )
+    decryptions = _counter_property(
+        "decryptions", "Datagram bodies decrypted."
+    )
+
+    # Rejection reasons: views over datagrams_rejected{reason=...}.  The
+    # reasons are mutually exclusive -- each failed FBSReceive bumps
+    # exactly one -- so they sum to the rejected total.
+    stale_timestamps = _counter_property(
+        "datagrams_rejected",
+        "Rejections for timestamps outside the freshness window.",
+        reason="stale_timestamp",
+    )
+    mac_failures = _counter_property(
+        "datagrams_rejected",
+        "Rejections for MAC mismatch (including garbled decryptions).",
+        reason="mac",
+    )
+    header_errors = _counter_property(
+        "datagrams_rejected",
+        "Rejections for unparseable security flow headers.",
+        reason="header",
+    )
+    keying_failures = _counter_property(
+        "datagrams_rejected",
+        "Rejections because the flow key could not be established.",
+        reason="keying",
+    )
+    duplicates = _counter_property(
+        "datagrams_rejected",
+        "Rejections by the optional replay guard (exact duplicates).",
+        reason="duplicate",
+    )
 
     @property
     def datagrams_rejected(self) -> int:
         return self.datagrams_received - self.datagrams_accepted
+
+    def __repr__(self) -> str:
+        return (
+            f"FBSMetrics(sent={self.datagrams_sent}, "
+            f"received={self.datagrams_received}, "
+            f"accepted={self.datagrams_accepted}, "
+            f"rejected={self.datagrams_rejected})"
+        )

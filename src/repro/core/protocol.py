@@ -44,6 +44,16 @@ from repro.core.timestamps import FreshnessWindow, TimestampCodec
 from repro.crypto import modes
 from repro.crypto.mac import constant_time_equal
 from repro.crypto.random import LinearCongruential
+from repro.obs.events import (
+    REJECTION_REASONS,
+    DatagramAccepted,
+    DatagramProtected,
+    DatagramRejected,
+    KeyDerived,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sinks import Sink
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 __all__ = ["FBSEndpoint", "FBSError", "ReceiveError"]
 
@@ -67,6 +77,15 @@ class FBSEndpoint:
         Optional CPU-cost hook, called with seconds for keying work.
     flow_key_cost:
         CPU seconds per flow-key derivation (charged through ``charge``).
+    tracer:
+        Event destination: a :class:`~repro.obs.tracer.Tracer`, a bare
+        :class:`~repro.obs.sinks.Sink` (wrapped with this endpoint's
+        clock), or None for the zero-cost :data:`NULL_TRACER`.
+    registry:
+        Metrics registry; a private one is created when not given.
+        Share a registry only across components whose metric names
+        cannot collide -- two endpoints on one registry would fight
+        over the cache gauges.
     """
 
     def __init__(
@@ -79,15 +98,33 @@ class FBSEndpoint:
         confounder_seed: int = 1,
         charge: Optional[Callable[[float], None]] = None,
         flow_key_cost: float = 0.0,
+        tracer: Optional[object] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.principal = principal
         self.mkd = mkd
         self.fam = fam
         self.config = config or FBSConfig()
         self.now = now
+        if tracer is None:
+            self.tracer = NULL_TRACER
+        elif isinstance(tracer, Tracer):
+            self.tracer = tracer
+        elif isinstance(tracer, Sink):
+            self.tracer = Tracer(tracer, now=now)
+        else:
+            raise TypeError(f"tracer must be a Tracer or Sink, got {tracer!r}")
+        self.registry = registry or MetricsRegistry()
         self.kdf = KeyDerivation(self.config.suite)
-        self.tfkc = FlowKeyCache(self.config.tfkc_size, name="TFKC")
-        self.rfkc = FlowKeyCache(self.config.rfkc_size, name="RFKC")
+        self.tfkc = FlowKeyCache(
+            self.config.tfkc_size, name="TFKC", tracer=self.tracer
+        )
+        self.rfkc = FlowKeyCache(
+            self.config.rfkc_size, name="RFKC", tracer=self.tracer
+        )
+        self.mkd.mkc.set_tracer(self.tracer)
+        self.mkd.pvc.set_tracer(self.tracer)
+        self.fam.tracer = self.tracer
         self.codec = TimestampCodec()
         self.freshness = FreshnessWindow(
             codec=self.codec, half_window=self.config.freshness_half_window
@@ -95,7 +132,26 @@ class FBSEndpoint:
         self._confounder_rng = LinearCongruential(confounder_seed)
         self._charge = charge or (lambda _cost: None)
         self._flow_key_cost = flow_key_cost
-        self.metrics = FBSMetrics()
+        self.metrics = FBSMetrics(registry=self.registry)
+        # Bound instruments: the datapath pays one attribute read plus
+        # one integer add per count, never a registry lookup.
+        reg = self.registry
+        self._c_sent = reg.counter("datagrams_sent")
+        self._c_bytes_out = reg.counter("bytes_protected")
+        self._c_flows = reg.counter("flows_started")
+        self._c_encryptions = reg.counter("encryptions")
+        self._c_decryptions = reg.counter("decryptions")
+        self._c_builds = reg.counter("crypto_state_builds")
+        self._c_kd_send = reg.counter("flow_key_derivations", side="send")
+        self._c_kd_recv = reg.counter("flow_key_derivations", side="receive")
+        self._c_received = reg.counter("datagrams_received")
+        self._c_accepted = reg.counter("datagrams_accepted")
+        self._c_bytes_in = reg.counter("bytes_accepted")
+        self._c_rejected_by_reason = {
+            reason: reg.counter("datagrams_rejected", reason=reason)
+            for reason in REJECTION_REASONS
+        }
+        reg.register_collector(self._collect_soft_state)
         # Config is frozen, so the header length is a per-endpoint
         # constant: compute it once instead of once per datagram.
         self._header_len = header_length(
@@ -108,10 +164,53 @@ class FBSEndpoint:
                 capacity=self.config.replay_guard_size,
                 window=2 * self.config.freshness_half_window + 60.0,
             )
+            self.replay_guard.tracer = self.tracer
         else:
             self.replay_guard = None
 
     # -- helpers ---------------------------------------------------------------
+
+    def _collect_soft_state(self) -> None:
+        """Snapshot-time collector: syncs cache counters and soft-state
+        gauges from live structures, so the datapath never maintains
+        them (they exist only when somebody snapshots)."""
+        reg = self.registry
+        for cache in (self.tfkc, self.rfkc, self.mkd.mkc, self.mkd.pvc):
+            name = cache.name
+            stats = cache.stats
+            reg.counter("cache_hits", cache=name).value = stats.hits
+            reg.counter(
+                "cache_misses", cache=name, kind="cold"
+            ).value = stats.cold_misses
+            reg.counter(
+                "cache_misses", cache=name, kind="capacity"
+            ).value = stats.capacity_misses
+            reg.counter(
+                "cache_misses", cache=name, kind="collision"
+            ).value = stats.collision_misses
+            reg.counter("cache_evictions", cache=name).value = stats.evictions
+            lookups = stats.lookups
+            reg.gauge("cache_hit_ratio", cache=name).set(
+                stats.hits / lookups if lookups else 0.0
+            )
+            reg.gauge("cache_occupancy", cache=name).set(float(len(cache)))
+        reg.gauge("flow_table_occupancy").set(float(self.fam.fst.occupancy()))
+        reg.gauge("active_flows").set(
+            float(self.fam.active_flows(self.now(), self.config.threshold))
+        )
+
+    def _rejected(self, reason: str, sfl: int = -1) -> None:
+        """The single bookkeeping point for a dropped datagram.
+
+        Bumps ``datagrams_rejected{reason}`` and emits one
+        :class:`DatagramRejected`; every rejection path calls this
+        exactly once, which is what makes the reasons mutually
+        exclusive (and keeps retried paths from double-counting).
+        """
+        self._c_rejected_by_reason[reason].inc()
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit(DatagramRejected(reason=reason, sfl=sfl))
 
     @property
     def header_size(self) -> int:
@@ -131,8 +230,8 @@ class FBSEndpoint:
         return digest[: self.config.suite.mac_bytes]
 
     def _build_crypto_state(self, flow_key: bytes) -> FlowCryptoState:
-        self.metrics.crypto_state_builds += 1
-        return FlowCryptoState(flow_key, self.config.suite)
+        self._c_builds.inc()
+        return FlowCryptoState(flow_key, self.config.suite, tracer=self.tracer)
 
     def _send_flow_state(self, sfl: int, destination: Principal) -> FlowCryptoState:
         """Figure 6: TFKC, then MKC/MKD, then derive and install.
@@ -153,7 +252,10 @@ class FBSEndpoint:
             return entry.crypto
         master = self.mkd.upcall_master_key(destination)
         self._charge(self._flow_key_cost)
-        self.metrics.send_flow_key_derivations += 1
+        self._c_kd_send.inc()
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit(KeyDerived(side="send", sfl=sfl))
         flow_key = self.kdf.flow_key(sfl, master, self.principal, destination)
         state = self._build_crypto_state(flow_key)
         self.tfkc.install(
@@ -177,7 +279,10 @@ class FBSEndpoint:
             return entry.crypto
         master = self.mkd.upcall_master_key(source)
         self._charge(self._flow_key_cost)
-        self.metrics.receive_flow_key_derivations += 1
+        self._c_kd_recv.inc()
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit(KeyDerived(side="receive", sfl=sfl))
         flow_key = self.kdf.flow_key(sfl, master, source, self.principal)
         state = self._build_crypto_state(flow_key)
         self.rfkc.install(
@@ -218,10 +323,10 @@ class FBSEndpoint:
             attributes = DatagramAttributes(
                 destination_id=destination.wire_id, size=len(body)
             )
-        # (S1) classify into a flow.
+        # (S1) classify into a flow (the FAM emits FlowStarted).
         entry = self.fam.classify(attributes, now)
         if entry.datagrams == 1:
-            self.metrics.flows_started += 1
+            self._c_flows.inc()
         sfl = entry.sfl
         # (S2-3) flow crypto state (logically the flow key; physically
         # the TFKC entry carrying the precomputed per-key state).
@@ -243,10 +348,13 @@ class FBSEndpoint:
             body = modes.encrypt(
                 self.config.suite.cipher_mode, state.cipher, header.iv(), body
             )
-            self.metrics.encryptions += 1
+            self._c_encryptions.inc()
         # (S7, S10) emit header + body.
-        self.metrics.datagrams_sent += 1
-        self.metrics.bytes_protected += len(body)
+        self._c_sent.inc()
+        self._c_bytes_out.inc(len(body))
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit(DatagramProtected(sfl=sfl, size=len(body), secret=secret))
         return (
             header.encode(self.config.suite, self.config.carry_algorithm_id) + body
         )
@@ -259,7 +367,7 @@ class FBSEndpoint:
         Returns the plaintext body, or raises a :class:`ReceiveError`
         subclass (the pseudo-code's ``return error`` paths).
         """
-        self.metrics.datagrams_received += 1
+        self._c_received.inc()
         now = self.now()
         # (R2) parse the security flow header.
         try:
@@ -267,12 +375,12 @@ class FBSEndpoint:
                 data, self.config.suite, self.config.carry_algorithm_id
             )
         except HeaderFormatError:
-            self.metrics.header_errors += 1
+            self._rejected("header")
             raise
         body = data[self.header_size :]
         # (R3-4) freshness.
         if not self.freshness.is_fresh(header.timestamp, now):
-            self.metrics.stale_timestamps += 1
+            self._rejected("stale_timestamp", header.sfl)
             raise StaleTimestampError(
                 f"timestamp {header.timestamp} outside freshness window at {now}"
             )
@@ -280,7 +388,7 @@ class FBSEndpoint:
         try:
             state = self._receive_flow_state(header.sfl, source)
         except FBSError:
-            self.metrics.keying_failures += 1
+            self._rejected("keying", header.sfl)
             raise
         # (R10-11 before R7-9; see the module docstring on Figure 4's
         # ordering) optional decryption with the flow's cached cipher.
@@ -291,24 +399,33 @@ class FBSEndpoint:
                 )
             except ValueError as exc:
                 # Garbled padding: treat as an integrity failure.
-                self.metrics.mac_failures += 1
+                self._rejected("mac", header.sfl)
                 raise MacMismatchError(f"decryption failed: {exc}") from exc
-            self.metrics.decryptions += 1
+            self._c_decryptions.inc()
         # (R7-9) MAC verification over the plaintext.
         expected = state.mac(header.mac_input(body))
         if not constant_time_equal(expected, header.mac):
-            self.metrics.mac_failures += 1
+            self._rejected("mac", header.sfl)
             raise MacMismatchError(
                 f"MAC mismatch on datagram in flow {header.sfl:#x}"
             )
         # Optional extension: suppress exact duplicates within the
         # freshness window (after MAC verification, so forged headers
-        # cannot poison the memory).
+        # cannot poison the memory).  Only the guard raises inside the
+        # try; catching its ReceiveError here avoids importing the
+        # concrete subclass (the guard module is an optional import).
         if self.replay_guard is not None:
-            self.replay_guard.check_and_remember(header, now)
+            try:
+                self.replay_guard.check_and_remember(header, now)
+            except ReceiveError:
+                self._rejected("duplicate", header.sfl)
+                raise
         # (R12) deliver.
-        self.metrics.datagrams_accepted += 1
-        self.metrics.bytes_accepted += len(body)
+        self._c_accepted.inc()
+        self._c_bytes_in.inc(len(body))
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit(DatagramAccepted(sfl=header.sfl, size=len(body)))
         return body
 
     # -- soft state management -------------------------------------------------------

@@ -31,6 +31,8 @@ from typing import Tuple
 
 from repro.core.errors import ReceiveError
 from repro.core.header import FBSHeader
+from repro.obs.events import ReplayDropped
+from repro.obs.tracer import NULL_TRACER
 
 __all__ = ["DuplicateDatagramError", "ReplayGuard"]
 
@@ -49,6 +51,9 @@ class ReplayGuard:
         self.window = window
         self._seen: "OrderedDict[Tuple[int, int, bytes], float]" = OrderedDict()
         self.duplicates_rejected = 0
+        #: Event tracer; the owning protocol engine replaces this with
+        #: its own so replay drops land in the endpoint's trace.
+        self.tracer = NULL_TRACER
 
     @staticmethod
     def _key(header: FBSHeader) -> Tuple[int, int, bytes]:
@@ -64,6 +69,9 @@ class ReplayGuard:
         key = self._key(header)
         if key in self._seen:
             self.duplicates_rejected += 1
+            tr = self.tracer
+            if tr.enabled:
+                tr.emit(ReplayDropped(sfl=header.sfl))
             raise DuplicateDatagramError(
                 f"duplicate datagram in flow {header.sfl:#x} "
                 f"(confounder {header.confounder:#x})"

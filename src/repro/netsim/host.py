@@ -171,6 +171,20 @@ class Host:
         self.stack.input_hook = module.inbound
         self.tcp.header_reserve = module.header_overhead
 
+    def metrics_snapshot(self) -> Optional[dict]:
+        """The installed security module's metrics snapshot, if any.
+
+        Works for any module whose ``endpoint`` exposes a metrics
+        registry (FBS does); returns None for bare hosts and registry-
+        less baselines.
+        """
+        module = self.security
+        endpoint = getattr(module, "endpoint", None)
+        registry = getattr(endpoint, "registry", None)
+        if registry is None:
+            return None
+        return registry.snapshot()
+
     def remove_security(self) -> None:
         """Uninstall any security module (back to GENERIC)."""
         self.security = None

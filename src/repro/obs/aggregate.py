@@ -1,0 +1,185 @@
+"""Streaming aggregation of event records (dict form).
+
+One class, two consumers: :class:`~repro.obs.sinks.AggregatingSink`
+feeds it live events, ``python -m repro.obs summarize`` feeds it a
+JSONL trace file.  Both produce the same numbers, and both must agree
+*exactly* with the :class:`~repro.core.caches.CacheStats` counters of
+the caches that emitted the events -- that parity is what makes a trace
+file a trustworthy substitute for in-process state (asserted by the
+selftest and by ``tests/obs/test_fig11_parity.py``).
+
+The aggregate works on event *dictionaries* (the
+:meth:`~repro.obs.events.Event.to_dict` / JSONL schema), so a trace can
+be summarized without reconstructing event objects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["CacheTally", "TraceAggregate"]
+
+
+class CacheTally:
+    """Hit/miss/eviction counts for one traced cache (by trace name)."""
+
+    __slots__ = ("hits", "cold", "capacity", "collision", "evictions")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.cold = 0
+        self.capacity = 0
+        self.collision = 0
+        self.evictions = 0
+
+    @property
+    def misses(self) -> int:
+        return self.cold + self.capacity + self.collision
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.lookups
+        return self.misses / total if total else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "hits": self.hits,
+            "cold_misses": self.cold,
+            "capacity_misses": self.capacity,
+            "collision_misses": self.collision,
+            "evictions": self.evictions,
+            "lookups": self.lookups,
+            "miss_rate": self.miss_rate,
+        }
+
+
+class TraceAggregate:
+    """Running counts over a stream of event records."""
+
+    def __init__(self) -> None:
+        #: Event-type name -> count (every record lands here).
+        self.event_counts: Dict[str, int] = {}
+        #: Trace cache name (e.g. ``TFKC`` or ``TFKC[32]``) -> tally.
+        self.caches: Dict[str, CacheTally] = {}
+        #: DatagramRejected reason -> count.
+        self.rejections: Dict[str, int] = {}
+        #: KeyDerived side -> count.
+        self.key_derivations: Dict[str, int] = {}
+        self.flows_started = 0
+        self.datagrams_protected = 0
+        self.datagrams_accepted = 0
+        self.bytes_protected = 0
+        self.bytes_accepted = 0
+        self.replay_drops = 0
+        self.crypto_state_builds = 0
+        self.first_t: Optional[float] = None
+        self.last_t: Optional[float] = None
+        self.records = 0
+
+    def _cache(self, name: object) -> CacheTally:
+        key = name if isinstance(name, str) else str(name)
+        tally = self.caches.get(key)
+        if tally is None:
+            tally = self.caches[key] = CacheTally()
+        return tally
+
+    def add(self, record: Dict[str, object]) -> None:
+        """Fold one event record (``Event.to_dict`` form) in."""
+        etype = str(record.get("type"))
+        self.records += 1
+        self.event_counts[etype] = self.event_counts.get(etype, 0) + 1
+        t = record.get("t")
+        if isinstance(t, (int, float)):
+            if self.first_t is None or t < self.first_t:
+                self.first_t = float(t)
+            if self.last_t is None or t > self.last_t:
+                self.last_t = float(t)
+
+        if etype == "CacheHit":
+            self._cache(record.get("cache")).hits += 1
+        elif etype == "CacheMiss":
+            tally = self._cache(record.get("cache"))
+            kind = record.get("kind")
+            if kind == "cold":
+                tally.cold += 1
+            elif kind == "capacity":
+                tally.capacity += 1
+            elif kind == "collision":
+                tally.collision += 1
+            else:
+                raise ValueError(f"unknown CacheMiss kind {kind!r}")
+        elif etype == "CacheEvicted":
+            self._cache(record.get("cache")).evictions += 1
+        elif etype == "DatagramRejected":
+            reason = str(record.get("reason"))
+            self.rejections[reason] = self.rejections.get(reason, 0) + 1
+        elif etype == "KeyDerived":
+            side = str(record.get("side"))
+            self.key_derivations[side] = self.key_derivations.get(side, 0) + 1
+        elif etype == "FlowStarted":
+            self.flows_started += 1
+        elif etype == "DatagramProtected":
+            self.datagrams_protected += 1
+            size = record.get("size")
+            if isinstance(size, int):
+                self.bytes_protected += size
+        elif etype == "DatagramAccepted":
+            self.datagrams_accepted += 1
+            size = record.get("size")
+            if isinstance(size, int):
+                self.bytes_accepted += size
+        elif etype == "ReplayDropped":
+            self.replay_drops += 1
+        elif etype == "CryptoStateBuilt":
+            self.crypto_state_builds += 1
+
+    # -- reporting -------------------------------------------------------------
+
+    def cache_rows(self) -> List[Tuple[str, int, int, str, int, int, int, int]]:
+        """Figure 11-style rows: (cache, lookups, hits, miss-rate,
+        cold, capacity, collision, evictions), sorted by cache name."""
+        rows = []
+        for name in sorted(self.caches):
+            tally = self.caches[name]
+            rows.append(
+                (
+                    name,
+                    tally.lookups,
+                    tally.hits,
+                    f"{tally.miss_rate * 100:.3f}%",
+                    tally.cold,
+                    tally.capacity,
+                    tally.collision,
+                    tally.evictions,
+                )
+            )
+        return rows
+
+    def summary(self) -> Dict[str, object]:
+        """Everything, as one JSON-serializable dictionary."""
+        return {
+            "records": self.records,
+            "time_span": (
+                None
+                if self.first_t is None
+                else [self.first_t, self.last_t]
+            ),
+            "event_counts": dict(sorted(self.event_counts.items())),
+            "caches": {
+                name: tally.to_dict()
+                for name, tally in sorted(self.caches.items())
+            },
+            "rejections": dict(sorted(self.rejections.items())),
+            "key_derivations": dict(sorted(self.key_derivations.items())),
+            "flows_started": self.flows_started,
+            "datagrams_protected": self.datagrams_protected,
+            "datagrams_accepted": self.datagrams_accepted,
+            "bytes_protected": self.bytes_protected,
+            "bytes_accepted": self.bytes_accepted,
+            "replay_drops": self.replay_drops,
+            "crypto_state_builds": self.crypto_state_builds,
+        }

@@ -1,0 +1,104 @@
+"""Docs-vs-code sync checks (the ``check-docs`` CLI subcommand).
+
+Two checks, both pure-stdlib:
+
+* **Coverage** -- ``docs/OBSERVABILITY.md`` must mention, in backticks,
+  every event class in :data:`repro.obs.events.EVENT_TYPES` and every
+  metric name in :data:`repro.obs.registry.METRIC_CATALOG`.  The guide
+  cannot silently fall behind the code.
+* **Links** -- every relative markdown link in the repo's top-level and
+  ``docs/`` markdown files must resolve to an existing file (anchors
+  are stripped; external ``http(s)``/``mailto`` links are skipped).
+
+Both return plain lists of problem strings so the CLI can print them
+and exit nonzero without any assertion machinery (fbslint FBS004 bans
+``assert`` under ``src/repro``).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import List, Sequence
+
+from repro.obs.events import EVENT_TYPES
+from repro.obs.registry import METRIC_CATALOG
+
+__all__ = [
+    "check_observability_doc",
+    "check_markdown_links",
+    "default_markdown_files",
+    "run_doc_checks",
+]
+
+_BACKTICKED = re.compile(r"`([^`\n]+)`")
+# [text](target) -- excluding images is unnecessary; image targets must
+# exist too.  Reference-style links are not used in this repo.
+_MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def check_observability_doc(doc_path: str) -> List[str]:
+    """Problems with the operator's guide's coverage (empty = in sync)."""
+    problems: List[str] = []
+    if not os.path.isfile(doc_path):
+        return [f"{doc_path}: missing"]
+    with open(doc_path, "r", encoding="utf-8") as fp:
+        text = fp.read()
+    mentioned = set(_BACKTICKED.findall(text))
+    for cls in EVENT_TYPES:
+        if cls.__name__ not in mentioned:
+            problems.append(
+                f"{doc_path}: event type `{cls.__name__}` is not documented"
+            )
+    for name in sorted(METRIC_CATALOG):
+        if name not in mentioned:
+            problems.append(
+                f"{doc_path}: metric `{name}` is not documented"
+            )
+    return problems
+
+
+def check_markdown_links(paths: Sequence[str], root: str) -> List[str]:
+    """Relative links in ``paths`` that do not resolve (empty = all ok)."""
+    problems: List[str] = []
+    for path in paths:
+        if not os.path.isfile(path):
+            problems.append(f"{path}: missing")
+            continue
+        with open(path, "r", encoding="utf-8") as fp:
+            text = fp.read()
+        base = os.path.dirname(os.path.abspath(path))
+        for target in _MD_LINK.findall(text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            resolved = os.path.normpath(
+                os.path.join(base, target.split("#", 1)[0])
+            )
+            if not os.path.exists(resolved):
+                rel = os.path.relpath(path, root)
+                problems.append(f"{rel}: broken link -> {target}")
+    return problems
+
+
+def default_markdown_files(root: str) -> List[str]:
+    """The markdown set the link check covers: repo top level + docs/."""
+    found: List[str] = []
+    for entry in sorted(os.listdir(root)):
+        if entry.endswith(".md"):
+            found.append(os.path.join(root, entry))
+    docs = os.path.join(root, "docs")
+    if os.path.isdir(docs):
+        for entry in sorted(os.listdir(docs)):
+            if entry.endswith(".md"):
+                found.append(os.path.join(docs, entry))
+    return found
+
+
+def run_doc_checks(root: str) -> List[str]:
+    """All documentation checks for a repo root; empty means clean."""
+    doc_path = os.path.join(root, "docs", "OBSERVABILITY.md")
+    problems = check_observability_doc(doc_path)
+    problems.extend(
+        check_markdown_links(default_markdown_files(root), root)
+    )
+    return problems

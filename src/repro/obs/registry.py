@@ -1,0 +1,348 @@
+"""The metrics registry: named counters, gauges, and histograms.
+
+Replaces the old flat ``FBSMetrics`` dataclass bumping with first-class
+named metrics.  Three instrument kinds:
+
+* :class:`Counter` -- monotonically increasing count (``inc``).
+* :class:`Gauge` -- point-in-time value (``set``); most FBS gauges are
+  refreshed lazily by snapshot *collectors* (cache hit ratios, table
+  occupancy) so the datapath never touches them.
+* :class:`Histogram` -- fixed-bucket distribution (``observe``); used
+  for the MAC latency distribution driven by the netsim cost model.
+
+Instruments are identified by ``(name, labels)``; the registry memoizes
+them, so hot paths bind an instrument once (``self._c = reg.counter(
+"datagrams_sent")``) and pay one method call per update.  ``snapshot()``
+runs the registered collectors, then returns a plain dictionary; keys
+render as ``name`` or ``name{k=v,...}``.
+
+:data:`METRIC_CATALOG` is the closed list of metric names the FBS
+instrumentation registers.  Two invariants are enforced by tests:
+every name a real endpoint registers is in the catalog (no unlisted
+telemetry), and docs/OBSERVABILITY.md enumerates the catalog verbatim
+(no undocumented telemetry).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricSpec",
+    "METRIC_CATALOG",
+    "fbs_metric_names",
+]
+
+LabelsKey = Tuple[Tuple[str, str], ...]
+
+
+def _labels_key(labels: Dict[str, str]) -> LabelsKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_key(name: str, labels: LabelsKey) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelsKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time named value."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelsKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+#: Default histogram buckets, tuned for CPU-cost seconds on the
+#: calibrated Pentium-133 model (25 us .. 10 ms; +inf is implicit).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    25e-6,
+    50e-6,
+    100e-6,
+    250e-6,
+    500e-6,
+    1e-3,
+    2.5e-3,
+    5e-3,
+    10e-3,
+)
+
+
+class Histogram:
+    """A fixed-bucket distribution of observed values."""
+
+    __slots__ = ("name", "labels", "buckets", "bucket_counts", "count",
+                 "total", "min", "max")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelsKey,
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        if list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be sorted ascending")
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(buckets)
+        self.bucket_counts = [0] * (len(buckets) + 1)  # last = +inf
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for i, upper in enumerate(self.buckets):
+            if value <= upper:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        bucket_map = {
+            f"le={upper:g}": self.bucket_counts[i]
+            for i, upper in enumerate(self.buckets)
+        }
+        bucket_map["le=+inf"] = self.bucket_counts[-1]
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "buckets": bucket_map,
+        }
+
+
+class MetricsRegistry:
+    """A namespace of instruments plus snapshot-time collectors."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, LabelsKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelsKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelsKey], Histogram] = {}
+        self._collectors: List[Callable[[], None]] = []
+
+    # -- instrument access (memoized) -----------------------------------------
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        key = (name, _labels_key(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter(name, key[1])
+        return instrument
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        key = (name, _labels_key(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge(name, key[1])
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Tuple[float, ...]] = None,
+        **labels: str,
+    ) -> Histogram:
+        key = (name, _labels_key(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(
+                name, key[1], buckets=buckets or DEFAULT_BUCKETS
+            )
+        return instrument
+
+    # -- collectors -----------------------------------------------------------
+
+    def register_collector(self, collect: Callable[[], None]) -> None:
+        """Register a callable run at every ``snapshot()``.
+
+        Collectors refresh gauges (and derived counters) from live
+        state -- cache statistics, table occupancy -- so the datapath
+        never pays for values only an observer wants.
+        """
+        self._collectors.append(collect)
+
+    # -- introspection --------------------------------------------------------
+
+    def names(self) -> List[str]:
+        """Distinct registered metric names (labels collapsed)."""
+        seen = set()
+        for bucket in (self._counters, self._gauges, self._histograms):
+            for name, _labels in bucket:
+                seen.add(name)
+        return sorted(seen)
+
+    def sum_counter(self, name: str) -> int:
+        """Sum of a counter across all label combinations."""
+        return sum(
+            c.value
+            for (n, _labels), c in self._counters.items()
+            if n == name
+        )
+
+    def snapshot(self) -> Dict[str, object]:
+        """Run collectors, then serialize every instrument."""
+        for collect in self._collectors:
+            collect()
+        return {
+            "counters": {
+                _render_key(c.name, c.labels): c.value
+                for c in sorted(
+                    self._counters.values(), key=lambda c: (c.name, c.labels)
+                )
+            },
+            "gauges": {
+                _render_key(g.name, g.labels): g.value
+                for g in sorted(
+                    self._gauges.values(), key=lambda g: (g.name, g.labels)
+                )
+            },
+            "histograms": {
+                _render_key(h.name, h.labels): h.to_dict()
+                for h in sorted(
+                    self._histograms.values(), key=lambda h: (h.name, h.labels)
+                )
+            },
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# The FBS metric catalog.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One cataloged FBS metric: kind, label names, one-line meaning."""
+
+    kind: str  # "counter" | "gauge" | "histogram"
+    labels: Tuple[str, ...]
+    help: str
+
+
+#: Every metric name the FBS instrumentation registers, by name.
+#: docs/OBSERVABILITY.md must list 100% of these (test-enforced), and a
+#: fully exercised endpoint must register no name outside this table.
+METRIC_CATALOG: Dict[str, MetricSpec] = {
+    "datagrams_sent": MetricSpec(
+        "counter", (), "datagrams protected by FBSSend"
+    ),
+    "datagrams_received": MetricSpec(
+        "counter", (), "datagrams presented to FBSReceive"
+    ),
+    "datagrams_accepted": MetricSpec(
+        "counter", (), "datagrams delivered by FBSReceive (R12)"
+    ),
+    "datagrams_rejected": MetricSpec(
+        "counter",
+        ("reason",),
+        "datagrams dropped by FBSReceive; reasons are mutually exclusive "
+        "(header, stale_timestamp, keying, mac, duplicate)",
+    ),
+    "bytes_protected": MetricSpec(
+        "counter", (), "payload bytes through FBSSend (post-encryption size)"
+    ),
+    "bytes_accepted": MetricSpec(
+        "counter", (), "payload bytes delivered by FBSReceive"
+    ),
+    "flows_started": MetricSpec(
+        "counter", (), "new flows classified by the FAM"
+    ),
+    "flow_key_derivations": MetricSpec(
+        "counter",
+        ("side",),
+        "K_f derivations (side=send|receive); zero on the warm path",
+    ),
+    "crypto_state_builds": MetricSpec(
+        "counter",
+        (),
+        "FlowCryptoState constructions; zero on the warm path",
+    ),
+    "encryptions": MetricSpec(
+        "counter", (), "datagram bodies encrypted (secret flows)"
+    ),
+    "decryptions": MetricSpec(
+        "counter", (), "datagram bodies decrypted (secret flows)"
+    ),
+    "cache_hits": MetricSpec(
+        "counter", ("cache",), "cache hits per level (PVC/MKC/TFKC/RFKC)"
+    ),
+    "cache_misses": MetricSpec(
+        "counter",
+        ("cache", "kind"),
+        "cache misses per level and kind (cold/capacity/collision)",
+    ),
+    "cache_evictions": MetricSpec(
+        "counter", ("cache",), "live entries displaced per cache level"
+    ),
+    "cache_hit_ratio": MetricSpec(
+        "gauge", ("cache",), "hits/lookups per cache level (0 when unused)"
+    ),
+    "cache_occupancy": MetricSpec(
+        "gauge", ("cache",), "live entries per cache level"
+    ),
+    "flow_table_occupancy": MetricSpec(
+        "gauge", (), "valid FST entries (flow state table load)"
+    ),
+    "active_flows": MetricSpec(
+        "gauge",
+        (),
+        "flows seen within THRESHOLD at snapshot time (Figure 12 metric)",
+    ),
+    "mac_cost_seconds": MetricSpec(
+        "histogram",
+        (),
+        "per-datagram MAC CPU cost under the netsim cost model",
+    ),
+    "host_cpu_seconds": MetricSpec(
+        "gauge", (), "total CPU seconds the owning netsim host has charged"
+    ),
+}
+
+
+def fbs_metric_names() -> List[str]:
+    """The catalog's names, sorted (docs/test convenience)."""
+    return sorted(METRIC_CATALOG)

@@ -25,6 +25,7 @@ from repro.core.flows import FlowStateTable, SflAllocator
 from repro.core.policy import FiveTuplePolicy
 from repro.crypto.crc import CacheIndexHash, Crc32Hash
 from repro.netsim.addresses import FiveTuple, IPAddress
+from repro.obs import Sink, Tracer
 from repro.traces.records import PacketRecord, Trace
 
 __all__ = ["FlowRecord", "ExactFlowSimulator", "TableFlowSimulator", "CacheSimulator"]
@@ -162,6 +163,12 @@ class CacheSimulator:
 
     Receive-side: symmetric, with the RFKC keyed by (sfl, S, D) over the
     datagrams the host receives.
+
+    With a ``sink``, every lookup also emits ``CacheHit``/``CacheMiss``/
+    ``CacheEvicted`` events stamped with the *trace* clock (the replayed
+    record's timestamp); ``label`` suffixes the cache name in the events
+    (e.g. ``label="[32]"`` yields ``TFKC[32]``) so one trace file can
+    carry a whole cache-size sweep.
     """
 
     def __init__(
@@ -170,20 +177,31 @@ class CacheSimulator:
         threshold: float = 600.0,
         index_hash: Optional[CacheIndexHash] = None,
         ways: int = 1,
+        sink: Optional[Sink] = None,
+        label: str = "",
     ) -> None:
         self.cache_size = cache_size
         self.threshold = threshold
         self._hash = index_hash or Crc32Hash()
         self.ways = ways
+        self.sink = sink
+        self.label = label
 
     def _replay(
         self, trace: Trace, viewpoint: IPAddress, receive_side: bool
     ) -> CacheStats:
+        clock = [0.0]
+        tracer = (
+            Tracer(self.sink, now=lambda: clock[0])
+            if self.sink is not None
+            else None
+        )
         cache = FlowKeyCache(
             self.cache_size,
             index_hash=self._hash,
-            name="RFKC" if receive_side else "TFKC",
+            name=("RFKC" if receive_side else "TFKC") + self.label,
             ways=self.ways,
+            tracer=tracer,
         )
         # Exact flow tracking to assign sfls.
         open_flows: Dict[bytes, Tuple[int, float]] = {}
@@ -194,6 +212,7 @@ class CacheSimulator:
             else trace.filter_sender(viewpoint)
         )
         for record in sub:
+            clock[0] = record.time
             key = record.five_tuple.pack()
             entry = open_flows.get(key)
             if entry is None or record.time - entry[1] > self.threshold:

@@ -1,0 +1,21 @@
+"""Violating fixture for FBS008: datapath writes through the facade.
+
+Linted as if it lived at ``src/repro/core/protocol.py``.
+"""
+
+# fbslint: module=repro.core.protocol
+
+
+class FBSEndpoint:
+    def __init__(self, metrics):
+        self.metrics = metrics
+
+    def protect(self, body):
+        self.metrics.datagrams_sent += 1  # facade write
+        self.metrics.bytes_protected += len(body)  # facade write
+        return body
+
+    def deliver(self, body):
+        # Plain assignment through the facade is just as much a bypass.
+        self.metrics.datagrams_accepted = self.metrics.datagrams_accepted + 1
+        return body

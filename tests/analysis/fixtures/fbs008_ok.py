@@ -1,0 +1,26 @@
+"""Compliant fixture for FBS008: counting through the registry.
+
+Linted as if it lived at ``src/repro/core/protocol.py``.  Instruments
+are bound once in ``__init__`` and updated with ``inc()``; assigning
+the facade object itself (``self.metrics = ...``) is construction, not
+a counted write, and stays legal.
+"""
+
+# fbslint: module=repro.core.protocol
+
+
+class FBSEndpoint:
+    def __init__(self, registry, metrics_facade):
+        self.registry = registry
+        self.metrics = metrics_facade
+        self._c_sent = registry.counter("datagrams_sent")
+        self._c_bytes_out = registry.counter("bytes_protected")
+
+    def protect(self, body):
+        self._c_sent.inc()
+        self._c_bytes_out.inc(len(body))
+        return body
+
+    def read_back(self):
+        # Reading facade fields is always fine; only writes are bound.
+        return self.metrics.datagrams_sent

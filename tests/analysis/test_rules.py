@@ -19,6 +19,7 @@ CASES = {
     "FBS005": ("src/repro/core/header.py", 6),
     "FBS006": ("src/repro/baselines/receiver.py", 3),
     "FBS007": ("src/repro/core/protocol.py", 3),
+    "FBS008": ("src/repro/core/protocol.py", 3),
 }
 
 

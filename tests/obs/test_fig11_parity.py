@@ -1,0 +1,73 @@
+"""Offline trace aggregation reproduces CacheSimulator statistics exactly.
+
+This is the acceptance check behind EXPERIMENTS.md section 4 (Figure 11
+regeneration): a JSONL trace written during a cache replay, summarized
+after the fact, must agree with the simulator's own ``CacheStats`` to
+the last count -- the trace is the ground truth, not an approximation.
+"""
+
+import pytest
+
+from repro.netsim.addresses import IPAddress
+from repro.obs import JsonlSink, read_jsonl
+from repro.traces.flowsim import CacheSimulator
+from repro.traces.workloads import CampusLanWorkload
+
+
+@pytest.fixture(scope="module")
+def lan_trace():
+    # Small but busy enough to exercise hits, all miss kinds, evictions.
+    return CampusLanWorkload(duration=900.0, clients=6, seed=5).generate()
+
+
+def _assert_tally_matches(tally, stats):
+    assert tally.hits == stats.hits
+    assert tally.cold == stats.cold_misses
+    assert tally.capacity == stats.capacity_misses
+    assert tally.collision == stats.collision_misses
+    assert tally.evictions == stats.evictions
+    assert tally.miss_rate == pytest.approx(stats.miss_rate)
+
+
+def test_summarized_trace_equals_simulator_stats(tmp_path, lan_trace):
+    server = IPAddress("10.1.0.250")  # the workload's file server
+    path = tmp_path / "fig11.jsonl"
+    with JsonlSink(str(path)) as sink:
+        sim = CacheSimulator(8, sink=sink, label="[8]")
+        send = sim.send_side(lan_trace, server)
+        recv = sim.receive_side(lan_trace, server)
+
+    assert send.lookups > 0 and recv.lookups > 0
+    aggregate = read_jsonl(str(path))
+    assert set(aggregate.caches) == {"TFKC[8]", "RFKC[8]"}
+    _assert_tally_matches(aggregate.caches["TFKC[8]"], send)
+    _assert_tally_matches(aggregate.caches["RFKC[8]"], recv)
+
+
+def test_sweep_sizes_share_one_trace_file(tmp_path, lan_trace):
+    server = IPAddress("10.1.0.250")
+    path = tmp_path / "sweep.jsonl"
+    stats = {}
+    with JsonlSink(str(path)) as sink:
+        for size in (4, 16):
+            sim = CacheSimulator(size, sink=sink, label=f"[{size}]")
+            stats[size] = sim.send_side(lan_trace, server)
+    aggregate = read_jsonl(str(path))
+    for size in (4, 16):
+        _assert_tally_matches(aggregate.caches[f"TFKC[{size}]"], stats[size])
+    # Bigger cache, no worse miss rate -- the Figure 11 shape.
+    assert (
+        aggregate.caches["TFKC[16]"].miss_rate
+        <= aggregate.caches["TFKC[4]"].miss_rate
+    )
+
+
+def test_events_carry_the_trace_clock(tmp_path, lan_trace):
+    server = IPAddress("10.1.0.250")
+    path = tmp_path / "clock.jsonl"
+    with JsonlSink(str(path)) as sink:
+        CacheSimulator(8, sink=sink).send_side(lan_trace, server)
+    aggregate = read_jsonl(str(path))
+    assert aggregate.first_t is not None
+    assert 0.0 <= aggregate.first_t <= aggregate.last_t <= 900.0
+    assert aggregate.last_t > 0.0
