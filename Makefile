@@ -6,7 +6,7 @@ PYTHON ?= python3
 # no editable install needed.
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test lint obs-check bench bench-smoke examples reports clean
+.PHONY: install test lint obs-check resilience-smoke bench bench-smoke examples reports clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -24,6 +24,14 @@ lint:
 obs-check:
 	$(PYTHON) -m repro.obs --selftest
 	$(PYTHON) -m repro.obs check-docs --root .
+
+# Fault-injection campaign (CI tier): run the seeded smoke matrix
+# twice; fail on any invariant violation (CLI exit 1) or on report
+# nondeterminism (cmp).
+resilience-smoke:
+	$(PYTHON) -m repro.resilience --smoke --seed 0 --out /tmp/FBS_resilience_a.json
+	$(PYTHON) -m repro.resilience --smoke --seed 0 --out /tmp/FBS_resilience_b.json
+	cmp /tmp/FBS_resilience_a.json /tmp/FBS_resilience_b.json
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -170,7 +170,7 @@ class FBSApplication:
                 sfl_seed=sfl_seed,
             ),
             config=self.config,
-            now=lambda: host.sim.now,
+            now=host.clock.now,
             confounder_seed=sfl_seed ^ 0xAB5,
         )
         self._socket = UdpSocket(host, port)

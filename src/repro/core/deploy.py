@@ -134,7 +134,7 @@ class FBSDomain:
             fetch=self.directory.fetch,
             pvc_size=config.pvc_size,
             mkc_size=config.mkc_size,
-            now=lambda: host.sim.now,
+            now=host.clock.now,
             charge=lambda cost: host.charge_cpu(cost) and None,
             modexp_cost=model.modexp,
             fetch_cost=model.certificate_fetch_rtt,
@@ -179,7 +179,7 @@ class FBSDomain:
             fetch=self.directory.fetch,
             pvc_size=config.pvc_size,
             mkc_size=config.mkc_size,
-            now=lambda: host.sim.now,
+            now=host.clock.now,
             charge=lambda cost: host.charge_cpu(cost) and None,
             modexp_cost=model.modexp,
             fetch_cost=model.certificate_fetch_rtt,
@@ -235,7 +235,7 @@ class FBSDomain:
             fetch=fetcher.fetch,
             pvc_size=config.pvc_size,
             mkc_size=config.mkc_size,
-            now=lambda: host.sim.now,
+            now=host.clock.now,
             charge=lambda cost: host.charge_cpu(cost) and None,
             modexp_cost=model.modexp,
             upcall_cost=model.upcall,

@@ -123,6 +123,20 @@ class FlowAssociationMechanism:
                 tr.emit(FlowStarted(sfl=entry.sfl))
         return entry
 
+    def configure_sweeper(
+        self, sweeper: Optional[Sweeper], sweep_interval: float
+    ) -> None:
+        """Install (or remove, with ``None``) the sweeper at runtime.
+
+        Fault-injection campaigns use this to race aggressive sweeping
+        against live traffic; the next :meth:`classify` whose ``now`` is
+        at least ``sweep_interval`` past the last sweep runs it.
+        """
+        if sweep_interval <= 0:
+            raise ValueError("sweep interval must be positive")
+        self.sweeper = sweeper
+        self._sweep_interval = sweep_interval
+
     def active_flows(self, now: float, threshold: float) -> int:
         """Flows seen within ``threshold`` (the Figure 12/13 metric)."""
         return self.fst.active_count(now, threshold)

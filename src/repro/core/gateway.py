@@ -87,7 +87,7 @@ class FBSGatewayTunnel:
                 sfl_seed=sfl_seed,
             ),
             config=self.config,
-            now=lambda: host.sim.now,
+            now=host.clock.now,
             confounder_seed=sfl_seed ^ 0x6A7E,
         )
         #: (network, prefix_len) -> remote gateway address.

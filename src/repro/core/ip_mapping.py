@@ -121,7 +121,9 @@ class FBSIPMapping(SecurityModule):
             mkd=mkd,
             fam=fam,
             config=self.config,
-            now=lambda: host.sim.now,
+            # The host's *local* clock, not the simulator's: per-host
+            # skew/drift must reach FBS timestamps and freshness checks.
+            now=host.clock.now,
             confounder_seed=sfl_seed ^ 0xC0FFEE,
             charge=lambda cost: host.charge_cpu(cost) and None,
             flow_key_cost=host.cost_model.flow_key_derivation,

@@ -122,7 +122,9 @@ class NetworkCertificateFetcher:
         # Verify before installing: the fetch is insecure by design, the
         # certificate is self-authenticating.
         try:
-            certificate.verify(self._ca_public, now=self.host.sim.now)
+            # Validity is judged by the host's own (possibly skewed)
+            # clock -- a host cannot consult time it does not have.
+            certificate.verify(self._ca_public, now=self.host.clock.now())
         except CertificateError:
             self.responses_rejected += 1
             return

@@ -50,6 +50,7 @@ from repro.obs.events import (
     DatagramProtected,
     DatagramRejected,
     KeyDerived,
+    SoftStateFlushed,
 )
 from repro.obs.registry import MetricsRegistry
 from repro.obs.sinks import Sink
@@ -151,6 +152,7 @@ class FBSEndpoint:
             reason: reg.counter("datagrams_rejected", reason=reason)
             for reason in REJECTION_REASONS
         }
+        self._c_flushes = reg.counter("soft_state_flushes")
         reg.register_collector(self._collect_soft_state)
         # Config is frozen, so the header length is a per-endpoint
         # constant: compute it once instead of once per datagram.
@@ -163,6 +165,7 @@ class FBSEndpoint:
             self.replay_guard: Optional["ReplayGuard"] = ReplayGuard(
                 capacity=self.config.replay_guard_size,
                 window=2 * self.config.freshness_half_window + 60.0,
+                freshness_half_window=self.config.freshness_half_window,
             )
             self.replay_guard.tracer = self.tracer
         else:
@@ -442,3 +445,9 @@ class FBSEndpoint:
         self.mkd.mkc.flush()
         self.mkd.pvc.flush()
         self.fam.flush()
+        if self.replay_guard is not None:
+            self.replay_guard.flush()
+        self._c_flushes.inc()
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit(SoftStateFlushed(scope="endpoint"))

@@ -27,7 +27,7 @@ delivery of each protected datagram.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.core.errors import ReceiveError
 from repro.core.header import FBSHeader
@@ -44,9 +44,30 @@ class DuplicateDatagramError(ReceiveError):
 class ReplayGuard:
     """Bounded LRU memory of recently accepted datagrams."""
 
-    def __init__(self, capacity: int = 1024, window: float = 240.0) -> None:
+    def __init__(
+        self,
+        capacity: int = 1024,
+        window: float = 240.0,
+        freshness_half_window: Optional[float] = None,
+    ) -> None:
         if capacity < 1:
             raise ValueError("replay guard capacity must be positive")
+        if window <= 0:
+            raise ValueError("replay guard window must be positive")
+        # The guard is only sound if its memory outlives freshness: a
+        # datagram stamped in minute M stays fresh for up to
+        # 2*half_window + 60 s (the minute-resolution slack), so an
+        # entry expiring any earlier would re-admit a replay the
+        # freshness check still accepts.
+        if freshness_half_window is not None:
+            required = 2.0 * freshness_half_window + 60.0
+            if window < required:
+                raise ValueError(
+                    f"replay guard window {window}s is shorter than the "
+                    f"freshness span {required}s (2*{freshness_half_window}"
+                    "+60): guard entries would expire while their "
+                    "datagram is still fresh"
+                )
         self.capacity = capacity
         self.window = window
         self._seen: "OrderedDict[Tuple[int, int, bytes], float]" = OrderedDict()

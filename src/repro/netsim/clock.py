@@ -13,7 +13,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
-__all__ = ["Simulator", "CancelToken"]
+__all__ = ["Simulator", "CancelToken", "HostClock"]
 
 
 @dataclass
@@ -112,3 +112,47 @@ class Simulator:
     def pending(self) -> int:
         """Number of not-yet-cancelled events in the queue."""
         return sum(1 for _, _, token, _ in self._queue if not token.cancelled)
+
+
+class HostClock:
+    """One host's *view* of the shared simulation clock.
+
+    Real machines never agree on the time: each host reads the shared
+    :class:`Simulator` through a configurable constant **offset** and a
+    relative **drift** rate, modelling imperfect NTP synchronization --
+    the "loose time synchronization" the paper's freshness check (R3)
+    tolerates and the resilience campaigns stress.
+
+    ``local = sim.now * (1 + drift) + offset``
+
+    Scheduling still uses the shared simulator (events fire in true
+    simulation time); only *readings* are skewed, so a skewed host
+    stamps and checks FBS timestamps with its own wrong idea of now
+    while the network itself stays consistent.
+    """
+
+    __slots__ = ("_sim", "offset", "drift")
+
+    def __init__(
+        self, sim: Simulator, offset: float = 0.0, drift: float = 0.0
+    ) -> None:
+        self._sim = sim
+        self.offset = 0.0
+        self.drift = 0.0
+        self.set_skew(offset=offset, drift=drift)
+
+    def now(self) -> float:
+        """The host's local time (skewed simulation seconds)."""
+        return self._sim.now * (1.0 + self.drift) + self.offset
+
+    def set_skew(self, offset: float = 0.0, drift: float = 0.0) -> None:
+        """(Re)configure the skew; ``set_skew()`` restores perfect sync."""
+        if drift <= -1.0:
+            raise ValueError("drift must keep the clock moving forward")
+        self.offset = offset
+        self.drift = drift
+
+    @property
+    def skewed(self) -> bool:
+        """True when this clock disagrees with the simulation clock."""
+        return self.offset != 0.0 or self.drift != 0.0

@@ -101,13 +101,44 @@ class Reassembler:
     timeout:
         Seconds a partial datagram may wait for its missing pieces (the
         BSD default was 30 s).
+    max_partials:
+        Hard cap on concurrently buffered incomplete datagrams -- the
+        4.4BSD ``ip_maxfragpackets``-style guard against the classic
+        fragment-flood DoS (a stream of lone first-fragments would
+        otherwise grow state without bound).  Inserting past the cap
+        evicts the **oldest** partial; each eviction counts in
+        ``overflow_drops``.
+    max_fragments:
+        Cap on distinct pieces one partial may hold (BSD's
+        ``ip_maxfragsperpacket``): a datagram sliced absurdly thin is
+        discarded whole rather than buffered piece by piece.
     """
 
-    def __init__(self, now: Callable[[], float], timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        now: Callable[[], float],
+        timeout: float = 30.0,
+        max_partials: int = 64,
+        max_fragments: int = 64,
+    ) -> None:
+        if max_partials < 1:
+            raise ValueError("max_partials must be positive")
+        if max_fragments < 2:
+            raise ValueError("max_fragments must allow at least two pieces")
         self._now = now
         self._timeout = timeout
+        self._max_partials = max_partials
+        self._max_fragments = max_fragments
+        # Insertion-ordered (dict semantics): the first key is always
+        # the oldest partial, which is what overflow evicts.
         self._partials: Dict[_Key, _PartialDatagram] = {}
         self.expired_datagrams = 0
+        self.overflow_drops = 0
+
+    @property
+    def max_partials(self) -> int:
+        """The configured partial-datagram cap (memory bound)."""
+        return self._max_partials
 
     def push(self, packet: IPv4Packet) -> Optional[IPv4Packet]:
         """Feed one packet in; return a whole datagram when complete.
@@ -121,9 +152,17 @@ class Reassembler:
         key: _Key = (header.src, header.dst, header.identification, header.proto)
         partial = self._partials.get(key)
         if partial is None:
+            while len(self._partials) >= self._max_partials:
+                oldest = next(iter(self._partials))
+                del self._partials[oldest]
+                self.overflow_drops += 1
             partial = _PartialDatagram(first_seen=self._now())
             self._partials[key] = partial
         partial.add(header, packet.payload)
+        if len(partial.pieces) > self._max_fragments:
+            del self._partials[key]
+            self.overflow_drops += 1
+            return None
         payload = partial.complete()
         if payload is None:
             return None

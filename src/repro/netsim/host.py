@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.netsim.addresses import IPAddress
-from repro.netsim.clock import Simulator
+from repro.netsim.clock import HostClock, Simulator
 from repro.netsim.costmodel import CostModel, FREE_CPU
 from repro.netsim.ipv4 import IPProtocol, IPv4Packet
 from repro.netsim.icmp import IcmpLayer
@@ -78,6 +78,11 @@ class Host:
         self.sim = sim
         self.name = name
         self.cost_model = cost_model
+        #: This host's (possibly skewed) view of the shared clock.  The
+        #: security layer reads time through it, so clock skew/drift
+        #: faults reach FBS timestamping and freshness checks; the
+        #: network and CPU models keep using the true ``sim`` clock.
+        self.clock = HostClock(sim)
         self.stack = IPStack(sim, forwarding=forwarding)
         self._cpu_busy_until = 0.0
         self.security: Optional[SecurityModule] = None

@@ -42,14 +42,31 @@ class LinkConditions:
     duplication_probability: float = 0.0
     #: Maximum extra random delay (seconds); nonzero values reorder frames.
     reorder_jitter: float = 0.0
+    #: Probability a transmitted copy arrives with one bit flipped
+    #: (noisy-wire corruption; FBS must reject the damaged datagram).
+    corruption_probability: float = 0.0
 
     def __post_init__(self) -> None:
-        for name in ("loss_probability", "duplication_probability"):
+        for name in (
+            "loss_probability",
+            "duplication_probability",
+            "corruption_probability",
+        ):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be a probability, got {value}")
         if self.reorder_jitter < 0:
             raise ValueError("reorder_jitter must be non-negative")
+
+
+def _flip_random_bit(frame: bytes, rng: _random.Random) -> bytes:
+    """One bit of line noise, at a seeded-random position."""
+    if not frame:
+        return frame
+    position = rng.randrange(len(frame) * 8)
+    damaged = bytearray(frame)
+    damaged[position >> 3] ^= 1 << (position & 7)
+    return bytes(damaged)
 
 
 class Link:
@@ -84,11 +101,21 @@ class Link:
         self.frames_sent = 0
         self.frames_dropped = 0
         self.frames_duplicated = 0
+        self.frames_corrupted = 0
         self.bytes_sent = 0
 
     def attach(self, receiver: Receiver) -> None:
         """Set the frame receiver at the far end."""
         self._receiver = receiver
+
+    @property
+    def conditions(self) -> LinkConditions:
+        """Current fault conditions (fault campaigns swap them mid-run)."""
+        return self._conditions
+
+    @conditions.setter
+    def conditions(self, conditions: LinkConditions) -> None:
+        self._conditions = conditions
 
     def serialization_time(self, nbytes: int) -> float:
         """Wire time for a frame of ``nbytes`` payload."""
@@ -104,32 +131,45 @@ class Link:
 
         The transmitter serializes frames FIFO: a frame begins
         transmission when the previous one has fully left the interface.
+        A duplicated frame is a *second transmission*: it serializes
+        back-to-back after the original (duplication is never free
+        airtime) and is counted in ``frames_sent``/``bytes_sent``, so
+        throughput statistics see every wire bit.
         """
         if self._receiver is None:
             raise RuntimeError("link has no receiver attached")
-        start = max(self._sim.now, self._tx_free_at)
-        departure = start + self.serialization_time(len(frame))
-        self._tx_free_at = departure
-        self.frames_sent += 1
-        self.bytes_sent += len(frame)
-
         copies = 1
         if self._rng.random() < self._conditions.duplication_probability:
             copies = 2
             self.frames_duplicated += 1
-        for _ in range(copies):
-            if self._rng.random() < self._conditions.loss_probability:
-                self.frames_dropped += 1
-                continue
-            jitter = (
-                self._rng.random() * self._conditions.reorder_jitter
-                if self._conditions.reorder_jitter
-                else 0.0
-            )
-            arrival = departure + self._delay + jitter
-            receiver = self._receiver
-            self._sim.schedule_at(arrival, lambda f=frame: receiver(f))
-        return departure
+        first_departure = 0.0
+        for copy in range(copies):
+            start = max(self._sim.now, self._tx_free_at)
+            departure = start + self.serialization_time(len(frame))
+            self._tx_free_at = departure
+            self.frames_sent += 1
+            self.bytes_sent += len(frame)
+            if copy == 0:
+                first_departure = departure
+            self._deliver(frame, departure)
+        return first_departure
+
+    def _deliver(self, frame: bytes, departure: float) -> None:
+        """Apply per-copy loss/corruption/jitter and schedule arrival."""
+        if self._rng.random() < self._conditions.loss_probability:
+            self.frames_dropped += 1
+            return
+        if self._rng.random() < self._conditions.corruption_probability:
+            frame = _flip_random_bit(frame, self._rng)
+            self.frames_corrupted += 1
+        jitter = (
+            self._rng.random() * self._conditions.reorder_jitter
+            if self._conditions.reorder_jitter
+            else 0.0
+        )
+        arrival = departure + self._delay + jitter
+        receiver = self._receiver
+        self._sim.schedule_at(arrival, lambda f=frame: receiver(f))
 
 
 class EthernetSegment:
@@ -159,8 +199,11 @@ class EthernetSegment:
         self._stations: List[Receiver] = []
         self._taps: List[Receiver] = []
         self._medium_free_at = 0.0
+        # Statistics (same names and meanings as Link's).
         self.frames_sent = 0
         self.frames_dropped = 0
+        self.frames_duplicated = 0
+        self.frames_corrupted = 0
         self.bytes_sent = 0
 
     def attach(self, receiver: Receiver) -> int:
@@ -176,6 +219,15 @@ class EthernetSegment:
         """
         self._taps.append(tap)
 
+    @property
+    def conditions(self) -> LinkConditions:
+        """Current fault conditions (fault campaigns swap them mid-run)."""
+        return self._conditions
+
+    @conditions.setter
+    def conditions(self, conditions: LinkConditions) -> None:
+        self._conditions = conditions
+
     def serialization_time(self, nbytes: int) -> float:
         """Wire time for a frame of ``nbytes`` payload."""
         return (nbytes + ETHERNET_FRAMING_OVERHEAD) * 8 / self._bandwidth
@@ -186,31 +238,63 @@ class EthernetSegment:
         return self._medium_free_at
 
     def send(self, station_id: int, frame: bytes) -> float:
-        """Transmit ``frame`` from ``station_id``; returns departure time."""
+        """Transmit ``frame`` from ``station_id``; returns departure time.
+
+        Adverse conditions mirror :class:`Link`'s semantics: a
+        duplicated frame serializes again on the shared medium (counted
+        in ``frames_sent``/``bytes_sent`` -- duplication occupies real
+        airtime), loss and corruption are drawn once per wire copy (one
+        signal, every station sees the same fate), and
+        ``reorder_jitter`` is applied **per delivery** -- each station's
+        receive path adds its own seeded-random delay, so a jittered
+        segment actually reorders frames between stations.
+        """
         if not 0 <= station_id < len(self._stations):
             raise ValueError(f"unknown station id {station_id}")
-        start = max(self._sim.now, self._medium_free_at)
-        departure = start + self.serialization_time(len(frame))
-        self._medium_free_at = departure
-        self.frames_sent += 1
-        self.bytes_sent += len(frame)
-
-        dropped = self._rng.random() < self._conditions.loss_probability
-        if dropped:
-            self.frames_dropped += 1
         copies = 1
         if self._rng.random() < self._conditions.duplication_probability:
             copies = 2
+            self.frames_duplicated += 1
+        first_departure = 0.0
+        for copy in range(copies):
+            start = max(self._sim.now, self._medium_free_at)
+            departure = start + self.serialization_time(len(frame))
+            self._medium_free_at = departure
+            self.frames_sent += 1
+            self.bytes_sent += len(frame)
+            if copy == 0:
+                first_departure = departure
+            self._transmit_copy(station_id, frame, departure)
+        return first_departure
+
+    def _transmit_copy(
+        self, station_id: int, frame: bytes, departure: float
+    ) -> None:
+        """One wire copy: draw its fate, then deliver to every station."""
+        dropped = self._rng.random() < self._conditions.loss_probability
+        if dropped:
+            self.frames_dropped += 1
+        wire = frame
+        if not dropped and (
+            self._rng.random() < self._conditions.corruption_probability
+        ):
+            wire = _flip_random_bit(frame, self._rng)
+            self.frames_corrupted += 1
         arrival = departure + self._delay
-        for i, receiver in enumerate(self._stations):
-            if i == station_id:
-                continue
-            if dropped:
-                continue
-            for copy in range(copies):
-                self._sim.schedule_at(
-                    arrival + copy * 1e-6, lambda f=frame, r=receiver: r(f)
+        if not dropped:
+            for i, receiver in enumerate(self._stations):
+                if i == station_id:
+                    continue
+                jitter = (
+                    self._rng.random() * self._conditions.reorder_jitter
+                    if self._conditions.reorder_jitter
+                    else 0.0
                 )
+                self._sim.schedule_at(
+                    arrival + jitter, lambda f=wire, r=receiver: r(f)
+                )
+        # Taps see what was on the wire (corruption included) and are
+        # exempt from loss and jitter: they model measurement
+        # infrastructure, not a real receive path.
         for tap in self._taps:
-            self._sim.schedule_at(arrival, lambda f=frame, t=tap: t(f))
-        return departure
+            self._sim.schedule_at(arrival, lambda f=wire, t=tap: t(f))

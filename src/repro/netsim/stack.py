@@ -131,6 +131,11 @@ class IPStack:
         """Whether this stack forwards packets not addressed to it."""
         return self._forwarding
 
+    @property
+    def reassembler(self) -> Reassembler:
+        """The input-path reassembler (fault harnesses probe its bounds)."""
+        return self._reassembler
+
     def add_interface(self, interface: Interface) -> None:
         """Attach an interface and install its connected route."""
         self._interfaces.append(interface)

@@ -33,6 +33,7 @@ from repro.obs.events import (
     FlowStarted,
     KeyDerived,
     ReplayDropped,
+    SoftStateFlushed,
     event_from_dict,
 )
 from repro.obs.registry import (
@@ -67,6 +68,7 @@ __all__ = [
     "DatagramAccepted",
     "DatagramRejected",
     "ReplayDropped",
+    "SoftStateFlushed",
     "EVENT_TYPES",
     "REJECTION_REASONS",
     "CACHE_LEVELS",

@@ -76,6 +76,9 @@ class TraceAggregate:
         self.bytes_accepted = 0
         self.replay_drops = 0
         self.crypto_state_builds = 0
+        self.soft_state_flushes = 0
+        #: Times of SoftStateFlushed events (campaign recovery marks).
+        self.flush_times: List[float] = []
         self.first_t: Optional[float] = None
         self.last_t: Optional[float] = None
         self.records = 0
@@ -136,6 +139,10 @@ class TraceAggregate:
             self.replay_drops += 1
         elif etype == "CryptoStateBuilt":
             self.crypto_state_builds += 1
+        elif etype == "SoftStateFlushed":
+            self.soft_state_flushes += 1
+            if isinstance(t, (int, float)):
+                self.flush_times.append(float(t))
 
     # -- reporting -------------------------------------------------------------
 
@@ -182,4 +189,5 @@ class TraceAggregate:
             "bytes_accepted": self.bytes_accepted,
             "replay_drops": self.replay_drops,
             "crypto_state_builds": self.crypto_state_builds,
+            "soft_state_flushes": self.soft_state_flushes,
         }

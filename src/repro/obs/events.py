@@ -43,6 +43,7 @@ __all__ = [
     "DatagramAccepted",
     "DatagramRejected",
     "ReplayDropped",
+    "SoftStateFlushed",
     "EVENT_TYPES",
     "REJECTION_REASONS",
     "CACHE_LEVELS",
@@ -172,6 +173,21 @@ class ReplayDropped(Event):
     t: float = 0.0
 
 
+@dataclass
+class SoftStateFlushed(Event):
+    """An endpoint dropped cached soft state (reboot/flush injection).
+
+    ``scope`` names what was flushed (currently always ``endpoint``:
+    all four cache levels, the FST, and the replay guard).  Resilience
+    campaigns locate these marks in a trace to measure recovery --
+    time/datagrams from the flush to the next :class:`DatagramAccepted`
+    with zero synchronization messages in between.
+    """
+
+    scope: str
+    t: float = 0.0
+
+
 #: Every concrete event class, in datapath order.  The operator's guide
 #: (docs/OBSERVABILITY.md) must enumerate exactly these names; a test
 #: diffs the two.
@@ -186,6 +202,7 @@ EVENT_TYPES: Tuple[Type[Event], ...] = (
     DatagramAccepted,
     DatagramRejected,
     ReplayDropped,
+    SoftStateFlushed,
 )
 
 _BY_NAME: Dict[str, Type[Event]] = {cls.__name__: cls for cls in EVENT_TYPES}

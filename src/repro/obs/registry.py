@@ -332,6 +332,12 @@ METRIC_CATALOG: Dict[str, MetricSpec] = {
         (),
         "flows seen within THRESHOLD at snapshot time (Figure 12 metric)",
     ),
+    "soft_state_flushes": MetricSpec(
+        "counter",
+        (),
+        "full soft-state flushes (reboot/fault injection); recovery "
+        "must follow without any synchronization messages",
+    ),
     "mac_cost_seconds": MetricSpec(
         "histogram",
         (),

@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.resilience``."""
+
+import sys
+
+from repro.resilience.cli import main
+
+sys.exit(main())

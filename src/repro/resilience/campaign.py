@@ -1,0 +1,51 @@
+"""Campaign driver: run the scenario matrix, check invariants, report.
+
+``run_campaign`` is the single entry point the CLI and the tests share:
+build each scenario's harness from the seed, run it, check every
+invariant, and fold the verdicts into the deterministic report
+structure (:mod:`repro.resilience.report`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.resilience.harness import ScenarioHarness, ScenarioResult
+from repro.resilience.invariants import check_all
+from repro.resilience.report import campaign_report, scenario_report
+from repro.resilience.scenario import Scenario, build_matrix
+
+__all__ = ["run_scenario", "run_campaign"]
+
+
+def run_scenario(
+    scenario: Scenario, seed: int
+) -> Tuple[ScenarioResult, List[str]]:
+    """Run one scenario; returns (result, invariant violations)."""
+    result = ScenarioHarness(scenario, seed).run()
+    return result, check_all(result)
+
+
+def run_campaign(
+    seed: int = 0,
+    smoke: bool = False,
+    only: Optional[Iterable[str]] = None,
+) -> Dict[str, object]:
+    """Run the matrix (or a named subset) and return the report dict."""
+    scenarios = build_matrix(smoke=smoke)
+    if only is not None:
+        wanted = set(only)
+        unknown = wanted - {s.name for s in scenarios}
+        if unknown:
+            raise ValueError(
+                f"unknown scenario(s): {sorted(unknown)} "
+                f"(available: {[s.name for s in scenarios]})"
+            )
+        scenarios = tuple(s for s in scenarios if s.name in wanted)
+    slices = []
+    for scenario in scenarios:
+        result, violations = run_scenario(scenario, seed)
+        slices.append(scenario_report(result, violations))
+    return campaign_report(
+        seed=seed, tier="smoke" if smoke else "full", scenarios=slices
+    )

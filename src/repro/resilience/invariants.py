@@ -1,0 +1,223 @@
+"""Protocol invariants checked against every scenario run.
+
+Each check takes a :class:`~repro.resilience.harness.ScenarioResult`
+and returns a list of violation strings (empty = holds).  The checks
+encode the paper's soft-state security claims as falsifiable
+propositions:
+
+* **authenticity** -- nothing the receiver's application saw differs by
+  one bit from something the sender sent (covers corruption, forgery,
+  and tampering in one stroke: FBSReceive's MAC is the only defence).
+* **accounting** -- every rejected datagram carries exactly one reason,
+  and received = accepted + rejected holds between trace and registry.
+* **allowed reasons** -- a scenario only produces the rejection reasons
+  its fault script can explain (a corruption run must not produce
+  ``duplicate``; a replay run must not produce ``mac``).
+* **goodput** -- delivery degrades gracefully, never below the
+  scenario's declared floor.
+* **recovery** -- after every soft-state flush, the receiver accepts
+  again within the scenario's bounded number of rejected datagrams.
+* **silence** -- the receiver sends zero packets, ever: recovery and
+  rejection alike need no synchronization messages.
+* **bounded memory** -- reassembly state never exceeds its cap.
+* **at-most-once** -- with the replay guard on, no payload is delivered
+  twice.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.obs.events import REJECTION_REASONS
+from repro.resilience.harness import ScenarioResult
+
+__all__ = ["check_all", "INVARIANT_NAMES"]
+
+#: The invariant names, in check order (reported per scenario).
+INVARIANT_NAMES = (
+    "authenticity",
+    "accounting",
+    "allowed_reasons",
+    "goodput",
+    "recovery",
+    "silence",
+    "bounded_memory",
+    "at_most_once",
+)
+
+
+def _check_authenticity(result: ScenarioResult) -> List[str]:
+    sent = set(result.sent)
+    violations = []
+    for index, payload in enumerate(result.delivered):
+        if payload not in sent:
+            violations.append(
+                f"authenticity: delivered payload #{index} "
+                f"({len(payload)} bytes) matches nothing the sender sent "
+                "-- a forged or corrupted datagram was accepted"
+            )
+    return violations
+
+
+def _rejection_counts(result: ScenarioResult) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for event in result.events:
+        if event.get("type") == "DatagramRejected":
+            reason = str(event.get("reason"))
+            counts[reason] = counts.get(reason, 0) + 1
+    return counts
+
+
+def _check_accounting(result: ScenarioResult) -> List[str]:
+    violations = []
+    trace_counts = _rejection_counts(result)
+    for reason in trace_counts:
+        if reason not in REJECTION_REASONS:
+            violations.append(
+                f"accounting: rejection reason {reason!r} is not in the "
+                "closed REJECTION_REASONS vocabulary"
+            )
+    for reason in REJECTION_REASONS:
+        counter = result.counters.get(
+            f"datagrams_rejected{{reason={reason}}}", 0
+        )
+        traced = trace_counts.get(reason, 0)
+        if counter != traced:
+            violations.append(
+                f"accounting: registry says {counter} "
+                f"datagrams_rejected{{reason={reason}}} but the trace has "
+                f"{traced} DatagramRejected events with that reason"
+            )
+    received = result.counters.get("datagrams_received", 0)
+    accepted = result.counters.get("datagrams_accepted", 0)
+    rejected = sum(
+        result.counters.get(f"datagrams_rejected{{reason={r}}}", 0)
+        for r in REJECTION_REASONS
+    )
+    if received != accepted + rejected:
+        violations.append(
+            f"accounting: datagrams_received={received} but "
+            f"accepted+rejected={accepted}+{rejected}: a datagram was "
+            "dropped without exactly one rejection reason"
+        )
+    return violations
+
+
+def _check_allowed_reasons(result: ScenarioResult) -> List[str]:
+    allowed = result.scenario.allowed_reasons
+    if allowed is None:
+        return []
+    violations = []
+    for reason, count in sorted(_rejection_counts(result).items()):
+        if reason not in allowed:
+            violations.append(
+                f"allowed_reasons: {count} rejection(s) with reason "
+                f"{reason!r}, which scenario {result.scenario.name!r} "
+                f"cannot explain (allowed: {sorted(allowed)})"
+            )
+    return violations
+
+
+def _check_goodput(result: ScenarioResult) -> List[str]:
+    floor = result.scenario.min_goodput
+    if result.goodput + 1e-12 < floor:
+        return [
+            f"goodput: {result.delivered_unique}/{len(result.sent)} "
+            f"= {result.goodput:.3f} delivered, below the scenario floor "
+            f"{floor:.3f}"
+        ]
+    return []
+
+
+def _check_recovery(result: ScenarioResult) -> List[str]:
+    """After each SoftStateFlushed mark, the next acceptance must come
+    within ``recovery_bound`` rejected datagrams."""
+    violations = []
+    bound = result.scenario.recovery_bound
+    events = result.events
+    last_send = result.send_times[-1] if result.send_times else 0.0
+    for index, event in enumerate(events):
+        if event.get("type") != "SoftStateFlushed":
+            continue
+        flush_t = float(event.get("t", 0.0))
+        remaining = sum(1 for t in result.send_times if t > flush_t)
+        rejected_after = 0
+        recovered = False
+        for later in events[index + 1:]:
+            etype = later.get("type")
+            if etype == "DatagramAccepted":
+                recovered = True
+                break
+            if etype == "DatagramRejected":
+                rejected_after += 1
+        if recovered and rejected_after > bound:
+            violations.append(
+                f"recovery: flush at t={flush_t:.3f} needed "
+                f"{rejected_after} rejected datagrams before the next "
+                f"acceptance (bound: {bound})"
+            )
+        elif not recovered and remaining > bound and flush_t <= last_send:
+            violations.append(
+                f"recovery: flush at t={flush_t:.3f} was never followed "
+                f"by an acceptance despite {remaining} datagrams still "
+                "to come"
+            )
+    return violations
+
+
+def _check_silence(result: ScenarioResult) -> List[str]:
+    if result.receiver_packets_sent != 0:
+        return [
+            f"silence: the receiver sent {result.receiver_packets_sent} "
+            "packet(s); soft-state recovery must need zero "
+            "synchronization messages"
+        ]
+    return []
+
+
+def _check_bounded_memory(result: ScenarioResult) -> List[str]:
+    if result.reassembly_probe_violations > 0:
+        return [
+            "bounded_memory: reassembly pending-partial count exceeded "
+            f"max_partials {result.reassembly_probe_violations} time(s) "
+            f"(max observed: {result.reassembly_max_pending})"
+        ]
+    return []
+
+
+def _check_at_most_once(result: ScenarioResult) -> List[str]:
+    if not result.scenario.expect_no_duplicates:
+        return []
+    seen: Dict[bytes, int] = {}
+    for payload in result.delivered:
+        seen[payload] = seen.get(payload, 0) + 1
+    violations = []
+    for payload, count in seen.items():
+        if count > 1:
+            violations.append(
+                "at_most_once: payload "
+                f"{payload[:16]!r}... delivered {count} times with the "
+                "replay guard enabled"
+            )
+    return violations
+
+
+_CHECKS = (
+    _check_authenticity,
+    _check_accounting,
+    _check_allowed_reasons,
+    _check_goodput,
+    _check_recovery,
+    _check_silence,
+    _check_bounded_memory,
+    _check_at_most_once,
+)
+
+
+def check_all(result: ScenarioResult) -> List[str]:
+    """Run every invariant; returns all violations (empty = scenario
+    passes)."""
+    violations: List[str] = []
+    for check in _CHECKS:
+        violations.extend(check(result))
+    return violations

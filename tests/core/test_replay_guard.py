@@ -102,3 +102,36 @@ class TestGuardInProtocol:
         with pytest.raises(Exception):
             bob.unprotect(bytes(forged), alice.principal)
         assert bob.unprotect(bytes(wire), alice.principal) == b"real"
+
+
+class TestWindowFreshnessRelationship:
+    """The guard's memory must outlive freshness: window >= 2*hw + 60."""
+
+    def test_exact_relationship_accepted(self):
+        guard = ReplayGuard(window=300.0, freshness_half_window=120.0)
+        assert guard.window == 300.0
+
+    def test_short_window_rejected(self):
+        with pytest.raises(ValueError, match="freshness span"):
+            ReplayGuard(window=299.0, freshness_half_window=120.0)
+
+    def test_unrelated_window_still_allowed(self):
+        # Without a declared freshness window the guard stays generic
+        # (standalone uses pick their own trade-off).
+        assert ReplayGuard(window=100.0).window == 100.0
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ReplayGuard(window=0.0)
+
+    def test_endpoint_construction_pins_the_relationship(self):
+        # FBSEndpoint builds its guard from the config's freshness
+        # half-window; the constructor validation proves the derived
+        # window always satisfies the 2*hw + 60 bound.
+        domain = FBSDomain(
+            seed=7,
+            config=FBSConfig(replay_guard_size=16, freshness_half_window=45.0),
+        )
+        bob = domain.make_endpoint(Principal.from_name("bob"))
+        assert bob.replay_guard is not None
+        assert bob.replay_guard.window == 2 * 45.0 + 60.0

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.netsim.clock import Simulator
+from repro.netsim.clock import HostClock, Simulator
 
 
 class TestScheduling:
@@ -103,3 +103,46 @@ class TestRunControl:
         sim.schedule(0.001, rearm)
         with pytest.raises(RuntimeError):
             sim.run(max_events=100)
+
+
+class TestHostClock:
+    def _clock(self, **kwargs):
+        sim = Simulator()
+        return HostClock(sim, **kwargs), sim
+
+    def test_tracks_simulator_by_default(self):
+        clock, sim = self._clock()
+        sim.schedule(2.5, lambda: None)
+        sim.run()
+        assert clock.now() == sim.now
+        assert not clock.skewed
+
+    def test_offset(self):
+        clock, sim = self._clock(offset=90.0)
+        assert clock.now() == 90.0
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        assert clock.now() == pytest.approx(100.0)
+        assert clock.skewed
+
+    def test_drift_scales_elapsed_time(self):
+        clock, sim = self._clock(drift=0.01)
+        sim.schedule(100.0, lambda: None)
+        sim.run()
+        assert clock.now() == pytest.approx(101.0)
+
+    def test_set_skew_and_heal(self):
+        clock, sim = self._clock()
+        clock.set_skew(offset=400.0)
+        assert clock.skewed
+        assert clock.now() == 400.0
+        clock.set_skew()
+        assert not clock.skewed
+        assert clock.now() == 0.0
+
+    def test_impossible_drift_rejected(self):
+        clock, _ = self._clock()
+        with pytest.raises(ValueError):
+            clock.set_skew(drift=-1.0)
+        with pytest.raises(ValueError):
+            HostClock(Simulator(), drift=-2.0)

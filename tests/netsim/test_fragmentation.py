@@ -131,3 +131,56 @@ class TestReassembler:
         for piece in pieces[1:]:
             result = reasm.push(piece)
         assert result is None
+
+
+class TestReassemblerBounds:
+    def _reassembler(self, **kwargs):
+        clock = {"now": 0.0}
+        return Reassembler(now=lambda: clock["now"], **kwargs), clock
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Reassembler(now=lambda: 0.0, max_partials=0)
+        with pytest.raises(ValueError):
+            Reassembler(now=lambda: 0.0, max_fragments=1)
+
+    def test_partial_count_capped_with_oldest_first_eviction(self):
+        reasm, _ = self._reassembler(max_partials=4)
+        # 6 distinct never-completing datagrams: only 4 partials live.
+        for ident in range(6):
+            pieces = fragment(make_packet(3000, identification=ident), 1500)
+            reasm.push(pieces[0])
+        assert reasm.pending == 4
+        assert reasm.overflow_drops == 2
+        # The two oldest were evicted: their late fragments start fresh
+        # partials instead of completing.
+        old = fragment(make_packet(3000, identification=0), 1500)
+        assert reasm.push(old[1]) is None
+        # The newest survived: completing it still works.
+        newest = fragment(make_packet(3000, identification=5), 1500)
+        done = None
+        for piece in newest[1:]:
+            done = reasm.push(piece)
+        assert done is not None
+
+    def test_fragment_count_per_partial_capped(self):
+        reasm, _ = self._reassembler(max_fragments=4)
+        packet = make_packet(8000)
+        pieces = fragment(packet, 1500)  # 6 fragments > cap of 4
+        result = None
+        for piece in pieces:
+            result = reasm.push(piece)
+        assert result is None
+        assert reasm.overflow_drops == 1
+        # The oversized partial was discarded when piece 5 arrived; the
+        # final fragment starts over as a fresh (1-piece) partial.
+        assert reasm.pending == 1
+
+    def test_cap_never_breaks_in_budget_reassembly(self):
+        reasm, _ = self._reassembler(max_partials=2, max_fragments=8)
+        packet = make_packet(6000)
+        result = None
+        for piece in fragment(packet, 1500):
+            result = reasm.push(piece)
+        assert result is not None and result.payload == packet.payload
+        assert reasm.overflow_drops == 0

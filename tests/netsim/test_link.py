@@ -151,3 +151,138 @@ class TestEthernetSegment:
         sim.run()
         assert inbox == []
         assert seg.frames_dropped == 1
+
+
+def _bit_difference(a: bytes, b: bytes) -> int:
+    assert len(a) == len(b)
+    return sum(bin(x ^ y).count("1") for x, y in zip(a, b))
+
+
+class TestLinkFaultModel:
+    def test_corruption_flips_exactly_one_bit(self):
+        sim = Simulator()
+        link = Link(
+            sim, conditions=LinkConditions(corruption_probability=1.0), seed=5
+        )
+        received = []
+        link.attach(received.append)
+        link.send(b"payload under test")
+        sim.run()
+        assert len(received) == 1
+        assert _bit_difference(received[0], b"payload under test") == 1
+        assert link.frames_corrupted == 1
+
+    def test_corruption_probability_validated(self):
+        with pytest.raises(ValueError):
+            LinkConditions(corruption_probability=-0.1)
+        with pytest.raises(ValueError):
+            LinkConditions(corruption_probability=1.5)
+
+    def test_duplicates_consume_airtime_and_count(self):
+        sim = Simulator()
+        link = Link(
+            sim,
+            bandwidth_bps=1_000_000,
+            propagation_delay=0.0,
+            conditions=LinkConditions(duplication_probability=1.0),
+            seed=6,
+        )
+        arrivals = []
+        link.attach(lambda f: arrivals.append(sim.now))
+        frame = b"x" * (125 - ETHERNET_FRAMING_OVERHEAD)  # 1 ms on the wire
+        link.send(frame)
+        sim.run()
+        # The copy is a second transmission: it serializes after the
+        # original instead of arriving for free at the same instant.
+        assert len(arrivals) == 2
+        assert arrivals[1] - arrivals[0] == pytest.approx(0.001)
+        assert link.frames_duplicated == 1
+        assert link.frames_sent == 2
+        assert link.bytes_sent == 2 * len(frame)
+        assert link.busy_until == pytest.approx(0.002)
+
+    def test_conditions_swappable_mid_run(self):
+        sim = Simulator()
+        link = Link(sim, seed=7)
+        received = []
+        link.attach(received.append)
+        link.send(b"clean")
+        link.conditions = LinkConditions(loss_probability=1.0)
+        link.send(b"lost")
+        sim.run()
+        assert received == [b"clean"]
+        assert link.frames_dropped == 1
+
+
+class TestSegmentFaultModel:
+    def test_duplicates_serialize_and_count(self):
+        sim = Simulator()
+        seg = EthernetSegment(
+            sim,
+            bandwidth_bps=1_000_000,
+            propagation_delay=0.0,
+            conditions=LinkConditions(duplication_probability=1.0),
+            seed=8,
+        )
+        arrivals = []
+        a = seg.attach(lambda f: None)
+        seg.attach(lambda f: arrivals.append(sim.now))
+        frame = b"x" * (125 - ETHERNET_FRAMING_OVERHEAD)  # 1 ms on the wire
+        seg.send(a, frame)
+        sim.run()
+        assert len(arrivals) == 2
+        assert arrivals[1] - arrivals[0] == pytest.approx(0.001)
+        assert seg.frames_duplicated == 1
+        assert seg.frames_sent == 2
+        assert seg.bytes_sent == 2 * len(frame)
+
+    def test_reorder_jitter_applied_per_delivery(self):
+        # One wire frame, two receivers: each delivery draws its own
+        # jitter, so arrival times differ (the old model jittered the
+        # frame once, making "reordering" invisible between stations).
+        sim = Simulator()
+        seg = EthernetSegment(
+            sim,
+            propagation_delay=0.0,
+            conditions=LinkConditions(reorder_jitter=0.05),
+            seed=9,
+        )
+        times = {}
+        a = seg.attach(lambda f: None)
+        seg.attach(lambda f: times.setdefault("b", sim.now))
+        seg.attach(lambda f: times.setdefault("c", sim.now))
+        seg.send(a, b"jittered")
+        sim.run()
+        assert times["b"] != times["c"]
+
+    def test_corruption_is_one_wire_signal(self):
+        # A corrupted frame is damaged on the medium: every station and
+        # the tap see the same damaged bytes, not independent damage.
+        sim = Simulator()
+        seg = EthernetSegment(
+            sim, conditions=LinkConditions(corruption_probability=1.0), seed=10
+        )
+        inbox_b, inbox_c, sniffed = [], [], []
+        a = seg.attach(lambda f: None)
+        seg.attach(inbox_b.append)
+        seg.attach(inbox_c.append)
+        seg.attach_tap(sniffed.append)
+        seg.send(a, b"frame on the wire")
+        sim.run()
+        assert seg.frames_corrupted == 1
+        assert inbox_b == inbox_c == sniffed
+        assert _bit_difference(inbox_b[0], b"frame on the wire") == 1
+
+    def test_stats_align_with_link(self):
+        # The segment exposes the same counter vocabulary as Link, so
+        # fault campaigns can treat either interchangeably.
+        seg = EthernetSegment(Simulator())
+        link = Link(Simulator())
+        for name in (
+            "frames_sent",
+            "frames_dropped",
+            "frames_duplicated",
+            "frames_corrupted",
+            "bytes_sent",
+        ):
+            assert getattr(seg, name) == getattr(link, name) == 0

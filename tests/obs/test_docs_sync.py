@@ -19,7 +19,7 @@ class TestCoverage:
     def test_real_guide_covers_everything(self):
         assert check_observability_doc(GUIDE) == []
 
-    def test_guide_enumerates_all_ten_events_and_twenty_metrics(self):
+    def test_guide_enumerates_all_eleven_events_and_twenty_one_metrics(self):
         with open(GUIDE, encoding="utf-8") as fp:
             text = fp.read()
         for cls in EVENT_TYPES:
