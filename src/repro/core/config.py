@@ -132,6 +132,15 @@ class FBSConfig:
     rfkc_size: int = 64
     mkc_size: int = 32
     pvc_size: int = 32
+    #: Flow-key cache associativity (1 = direct-mapped, the paper's
+    #: software-cache default; ``ways == size`` = fully associative
+    #: LRU, which removes collision misses entirely -- "collision
+    #: misses can be avoided by increasing the associativity of the
+    #: cache", Section 5.3).  The load engine runs fully associative so
+    #: that per-flow cache behaviour is independent of which flows
+    #: share a worker (shard-exact metrics).
+    tfkc_ways: int = 1
+    rfkc_ways: int = 1
     #: Whether the header carries the optional algorithm-id field.
     carry_algorithm_id: bool = False
     #: Rekey a flow after this many bytes (0 = never).  "With use, an
@@ -152,6 +161,18 @@ class FBSConfig:
                 raise ValueError(f"{name} must be at least 1")
         if self.freshness_half_window < 0:
             raise ValueError("freshness window must be non-negative")
+        for ways_name, size_name in (
+            ("tfkc_ways", "tfkc_size"),
+            ("rfkc_ways", "rfkc_size"),
+        ):
+            ways = getattr(self, ways_name)
+            size = getattr(self, size_name)
+            if ways < 1:
+                raise ValueError(f"{ways_name} must be at least 1")
+            if ways > 1 and size % ways:
+                raise ValueError(
+                    f"{size_name} must be a multiple of {ways_name}"
+                )
 
     def with_(self, **overrides) -> "FBSConfig":
         """Return a copy with some fields replaced."""

@@ -22,7 +22,7 @@ from typing import Dict, List, Optional
 
 from repro.crypto.crc import CacheIndexHash, Crc32Hash
 
-__all__ = ["SflAllocator", "FSTEntry", "FlowStateTable"]
+__all__ = ["SflAllocator", "FSTEntry", "FlowStateTable", "UnboundedFlowTable"]
 
 
 class SflAllocator:
@@ -110,6 +110,75 @@ class FlowStateTable:
 
     def entries(self) -> List[FSTEntry]:
         """All slots, in index order (the sweeper's scan)."""
+        return self._entries
+
+    def occupancy(self) -> int:
+        """Number of valid slots, regardless of age (table load)."""
+        return sum(1 for e in self._entries if e.valid)
+
+    def active_count(self, now: float, threshold: float) -> int:
+        """Number of valid entries whose last use is within ``threshold``."""
+        return sum(
+            1
+            for e in self._entries
+            if e.valid and (now - e.last) <= threshold
+        )
+
+    def flush(self) -> None:
+        """Drop all state (soft state: always safe)."""
+        for entry in self._entries:
+            entry.reset()
+
+
+class UnboundedFlowTable:
+    """A collision-free flow table: one private slot per match key.
+
+    Same interface as :class:`FlowStateTable` (``slot_for`` /
+    ``entry_at`` / ``entries`` / occupancy / statistics / ``flush``),
+    but slots are allocated per distinct key on first sight instead of
+    hashed into a fixed array, so two conversations can never evict
+    each other.  ``collision_evictions`` is 0 by construction.
+
+    This is the scale-out load engine's table: with collisions gone,
+    a flow's classification outcome depends only on that flow's own
+    datagram times, which is what makes per-flow sharding across worker
+    processes metrics-exact (see DESIGN.md "Scale-out load engine").
+    Memory grows with the number of distinct keys in the workload --
+    acceptable for a replay harness, not for the kernel datapath the
+    paper sizes with FSTSIZE.  ``flush`` resets every entry (full
+    soft-state semantics) while keeping the key->slot assignment, so a
+    post-flush replay re-derives flows exactly like a cold start.
+    """
+
+    def __init__(self) -> None:
+        self._slot_of: Dict[bytes, int] = {}
+        self._entries: List[FSTEntry] = []
+        # Statistics (same names as FlowStateTable).
+        self.lookups = 0
+        self.matches = 0
+        self.new_flows = 0
+        self.collision_evictions = 0
+        self.expirations = 0
+
+    @property
+    def size(self) -> int:
+        """Allocated slots so far (grows with distinct keys)."""
+        return len(self._entries)
+
+    def slot_for(self, key: bytes) -> int:
+        """The key's private slot, allocated on first sight."""
+        slot = self._slot_of.get(key)
+        if slot is None:
+            slot = self._slot_of[key] = len(self._entries)
+            self._entries.append(FSTEntry())
+        return slot
+
+    def entry_at(self, index: int) -> FSTEntry:
+        """Direct slot access (used by sweepers)."""
+        return self._entries[index]
+
+    def entries(self) -> List[FSTEntry]:
+        """All slots, in allocation order (the sweeper's scan)."""
         return self._entries
 
     def occupancy(self) -> int:

@@ -1,0 +1,6 @@
+"""Entry point: ``python -m repro.load``."""
+
+from repro.load.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -44,6 +44,8 @@ from repro.obs.registry import (
     MetricsRegistry,
     MetricSpec,
     fbs_metric_names,
+    merge_snapshots,
+    parse_metric_key,
 )
 from repro.obs.sinks import (
     AggregatingSink,
@@ -95,4 +97,6 @@ __all__ = [
     "MetricSpec",
     "METRIC_CATALOG",
     "fbs_metric_names",
+    "merge_snapshots",
+    "parse_metric_key",
 ]

@@ -26,7 +26,12 @@ reproduction's substitution rule this package supplies:
 """
 
 from repro.traces.records import PacketRecord, Trace
-from repro.traces.workloads import CampusLanWorkload, WwwServerWorkload, WorkloadMix
+from repro.traces.workloads import (
+    CampusLanWorkload,
+    SyntheticUniformWorkload,
+    WorkloadMix,
+    WwwServerWorkload,
+)
 from repro.traces.flowsim import ExactFlowSimulator, FlowRecord, TableFlowSimulator, CacheSimulator
 from repro.traces.analysis import FlowAnalysis, ActiveFlowSeries
 
@@ -36,6 +41,7 @@ __all__ = [
     "CampusLanWorkload",
     "WwwServerWorkload",
     "WorkloadMix",
+    "SyntheticUniformWorkload",
     "ExactFlowSimulator",
     "TableFlowSimulator",
     "CacheSimulator",

@@ -36,7 +36,12 @@ from repro.netsim.addresses import FiveTuple, IPAddress
 from repro.netsim.ipv4 import IPProtocol
 from repro.traces.records import PacketRecord, Trace
 
-__all__ = ["CampusLanWorkload", "WwwServerWorkload", "WorkloadMix"]
+__all__ = [
+    "CampusLanWorkload",
+    "WwwServerWorkload",
+    "WorkloadMix",
+    "SyntheticUniformWorkload",
+]
 
 _TELNET = 23
 _FTP_CTRL = 21
@@ -361,6 +366,79 @@ class WwwServerWorkload:
         )
         trace.sort()
         return trace
+
+
+class SyntheticUniformWorkload:
+    """A load-generator workload: N flows, evenly paced datagrams.
+
+    Unlike the trace-shaped workloads above, this one is built for the
+    scale-out load engine (:mod:`repro.load`) and its scaling bench:
+    ``flows`` distinct 5-tuples (distinct client addresses and ports
+    toward one server) carry ``datagrams`` records round-robin at a
+    uniform pace over ``duration`` seconds, with seeded payload sizes.
+    Per-flow inter-arrival is ``duration * flows / datagrams`` -- keep
+    that under the FBS THRESHOLD (it is, at the defaults) and every
+    5-tuple maps to exactly one flow, which makes the expected counter
+    totals trivially computable in tests.
+    """
+
+    def __init__(
+        self,
+        datagrams: int = 10_000,
+        flows: int = 64,
+        duration: float = 60.0,
+        seed: int = 0,
+        min_size: int = 64,
+        max_size: int = 1024,
+        server_address: str = "10.3.0.1",
+        client_network: str = "10.3.1.0",
+    ) -> None:
+        if datagrams < 1:
+            raise ValueError("need at least one datagram")
+        if flows < 1:
+            raise ValueError("need at least one flow")
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        if not 0 < min_size <= max_size:
+            raise ValueError("need 0 < min_size <= max_size")
+        self.datagrams = datagrams
+        self.flows = flows
+        self.duration = duration
+        self.seed = seed
+        self._min_size = min_size
+        self._max_size = max_size
+        self.server = IPAddress(server_address)
+        base = int(IPAddress(client_network))
+        self._tuples = [
+            FiveTuple(
+                proto=IPProtocol.UDP,
+                saddr=IPAddress(base + 1 + (i % 250)),
+                sport=1024 + (i // 250),
+                daddr=self.server,
+                dport=_HTTP,
+            )
+            for i in range(flows)
+        ]
+
+    def generate(self) -> Trace:
+        """Produce the synthetic trace (seeded: same seed, same trace)."""
+        rng = _random.Random(self.seed)
+        step = self.duration / self.datagrams
+        records = [
+            PacketRecord(
+                time=i * step,
+                five_tuple=self._tuples[i % self.flows],
+                size=rng.randint(self._min_size, self._max_size),
+            )
+            for i in range(self.datagrams)
+        ]
+        return Trace(
+            records,
+            description=(
+                f"synthetic-uniform seed={self.seed} flows={self.flows} "
+                f"n={self.datagrams} dur={self.duration:.0f}s"
+            ),
+        )
 
 
 class WorkloadMix:

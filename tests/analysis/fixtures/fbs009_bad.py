@@ -1,0 +1,19 @@
+"""Violating fixture for FBS009: process fan-out outside ``repro.load``.
+
+Linted as if it lived at ``src/repro/netsim/parallel.py`` (the same
+source is quiet under a ``src/repro/load/`` logical path).
+"""
+
+# fbslint: module=repro.netsim.parallel
+import multiprocessing  # banned here
+import os
+from concurrent.futures import ProcessPoolExecutor  # banned here
+from multiprocessing import Pool  # banned here
+
+
+def fan_out(work, items):
+    pid = os.fork()  # banned: forks live FBS soft state
+    if pid == 0:
+        os._exit(0)
+    with Pool() as pool:
+        return pool.map(work, items)

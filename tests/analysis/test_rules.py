@@ -20,6 +20,7 @@ CASES = {
     "FBS006": ("src/repro/baselines/receiver.py", 3),
     "FBS007": ("src/repro/core/protocol.py", 3),
     "FBS008": ("src/repro/core/protocol.py", 3),
+    "FBS009": ("src/repro/netsim/parallel.py", 4),
 }
 
 
@@ -81,6 +82,28 @@ def test_wall_clock_allowed_in_bench():
     bench = lint_source(_WALL_CLOCK, logical_path="src/repro/bench/x.py")
     assert [f.rule_id for f in netsim.findings] == ["FBS002"]
     assert bench.findings == []
+
+
+_UNSEEDED = "import random\n\ndef jitter():\n    return random.random()\n"
+_MP_IMPORT = "import multiprocessing\n\ndef ctx():\n    return multiprocessing.get_context('spawn')\n"
+
+
+def test_determinism_rules_cover_repro_load():
+    # The load engine is protocol-adjacent code: wall-clock reads and
+    # unseeded randomness are as banned there as anywhere in src/repro
+    # (its timing mode goes through repro.bench.clocks instead).
+    clock = lint_source(_WALL_CLOCK, logical_path="src/repro/load/worker.py")
+    rand = lint_source(_UNSEEDED, logical_path="src/repro/load/worker.py")
+    assert [f.rule_id for f in clock.findings] == ["FBS002"]
+    assert [f.rule_id for f in rand.findings] == ["FBS003"]
+
+
+def test_multiprocessing_allowed_only_in_load():
+    # The same fan-out code is legal in repro.load, banned elsewhere.
+    inside = lint_source(_MP_IMPORT, logical_path="src/repro/load/engine.py")
+    outside = lint_source(_MP_IMPORT, logical_path="src/repro/core/engine.py")
+    assert inside.findings == []
+    assert [f.rule_id for f in outside.findings] == ["FBS009"]
 
 
 def test_asserts_allowed_in_test_code():

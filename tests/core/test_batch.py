@@ -1,0 +1,159 @@
+"""Batch datapath API: differential equivalence with the scalar path.
+
+``protect_batch``/``unprotect_batch`` exist for the load engine's sake
+(ISSUE 5); their contract is *semantic identity* with a scalar loop --
+byte-identical wire output, identical registry snapshots, and the same
+mutually exclusive per-datagram rejection reasons.  These tests run the
+two paths in twin worlds (same domain seed) and compare everything.
+"""
+
+import pytest
+
+from repro.core.config import FBSConfig
+from repro.core.deploy import FBSDomain
+from repro.core.errors import FBSError, ReceiveError
+from repro.core.keying import Principal
+from repro.core.protocol import BatchReceiveResult
+
+
+class Clock:
+    def __init__(self, start=0.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+
+def make_pair(config=None, seed=7):
+    clock = Clock()
+    domain = FBSDomain(seed=seed, config=config or FBSConfig())
+    alice = domain.make_endpoint(Principal.from_name("alice"), now=clock)
+    bob = domain.make_endpoint(Principal.from_name("bob"), now=clock)
+    return alice, bob, clock
+
+
+BODIES = [bytes([i]) * (1 + 13 * i) for i in range(12)]
+STAMPS = [0.5 * i for i in range(12)]
+
+
+def scalar_protect(alice, bob, clock, secret):
+    wires = []
+    for body, stamp in zip(BODIES, STAMPS):
+        clock.now = stamp
+        wires.append(alice.protect(body, bob.principal, secret=secret))
+    return wires
+
+
+def batch_protect(alice, bob, clock, secret):
+    clock.now = STAMPS[-1]
+    return alice.protect_batch(
+        BODIES, bob.principal, secret=secret, stamps=STAMPS
+    )
+
+
+class TestProtectBatchDifferential:
+    @pytest.mark.parametrize("secret", [False, True])
+    def test_wire_bytes_and_counters_match_scalar(self, secret):
+        a_s, b_s, clk_s = make_pair()
+        a_b, b_b, clk_b = make_pair()
+        wires_scalar = scalar_protect(a_s, b_s, clk_s, secret)
+        wires_batch = batch_protect(a_b, b_b, clk_b, secret)
+        assert wires_batch == wires_scalar
+        clk_b.now = clk_s.now
+        assert a_b.registry.snapshot() == a_s.registry.snapshot()
+
+    def test_empty_batch(self):
+        alice, bob, _ = make_pair()
+        before = alice.registry.snapshot()
+        assert alice.protect_batch([], bob.principal) == []
+        assert alice.registry.snapshot() == before
+
+
+def corrupt(wires):
+    """A receive stream exercising every rejection reason but keying."""
+    stream = list(wires)
+    stream[3] = stream[3][:-1] + bytes([stream[3][-1] ^ 0xFF])  # mac
+    stream[5] = stream[5][:4]  # header (truncated)
+    stream.append(stream[0])  # duplicate (replay of an accepted one)
+    return stream, STAMPS + [STAMPS[-1]]
+
+
+class TestUnprotectBatchDifferential:
+    @pytest.mark.parametrize("secret", [False, True])
+    def test_bodies_reasons_and_counters_match_scalar(self, secret):
+        config = FBSConfig(replay_guard_size=256)
+        a_s, b_s, clk_s = make_pair(config)
+        a_b, b_b, clk_b = make_pair(config)
+        stream_s, stamps = corrupt(scalar_protect(a_s, b_s, clk_s, secret))
+        stream_b, _ = corrupt(batch_protect(a_b, b_b, clk_b, secret))
+        assert stream_b == stream_s
+
+        scalar_bodies = []
+        for wire, stamp in zip(stream_s, stamps):
+            clk_s.now = stamp
+            try:
+                scalar_bodies.append(
+                    b_s.unprotect(wire, a_s.principal, secret=secret)
+                )
+            except ReceiveError:
+                scalar_bodies.append(None)
+
+        clk_b.now = stamps[-1]
+        result = b_b.unprotect_batch(
+            stream_b, a_b.principal, secret=secret, stamps=stamps
+        )
+        assert result.bodies == scalar_bodies
+        assert b_b.registry.snapshot() == b_s.registry.snapshot()
+        assert result.rejected == {"mac": 1, "header": 1, "duplicate": 1}
+        reasons = [result.reasons[3], result.reasons[5], result.reasons[-1]]
+        assert reasons == ["mac", "header", "duplicate"]
+
+    def test_stale_timestamp_reason(self):
+        alice, bob, clock = make_pair()
+        wire = alice.protect(b"old news", bob.principal)
+        result = bob.unprotect_batch(
+            [wire], alice.principal, stamps=[clock.now + 500.0]
+        )
+        assert result.bodies == [None]
+        assert result.reasons == ["stale_timestamp"]
+
+    def test_keying_reason_for_unknown_source(self):
+        alice, bob, _ = make_pair()
+        wire = alice.protect(b"who?", bob.principal)
+        stranger = Principal.from_name("mallory")
+        result = bob.unprotect_batch([wire], stranger)
+        assert result.reasons == ["keying"]
+
+    def test_ledger_after_mixed_batch(self):
+        config = FBSConfig(replay_guard_size=256)
+        alice, bob, clock = make_pair(config)
+        stream, stamps = corrupt(scalar_protect(alice, bob, clock, False))
+        clock.now = stamps[-1]
+        bob.unprotect_batch(stream, alice.principal, stamps=stamps)
+        counters = bob.registry.snapshot()["counters"]
+        rejected = sum(
+            v
+            for k, v in counters.items()
+            if k.startswith("datagrams_rejected")
+        )
+        assert counters["datagrams_received"] == (
+            counters["datagrams_accepted"] + rejected
+        )
+
+
+class TestBatchValidation:
+    def test_parallel_length_mismatches_raise_fbserror(self):
+        alice, bob, _ = make_pair()
+        with pytest.raises(FBSError):
+            alice.protect_batch([b"x"], bob.principal, stamps=[0.0, 1.0])
+        with pytest.raises(FBSError):
+            alice.protect_batch([b"x"], bob.principal, attributes=[])
+        with pytest.raises(FBSError):
+            bob.unprotect_batch([b"x"], alice.principal, stamps=[])
+
+    def test_result_properties(self):
+        result = BatchReceiveResult(
+            bodies=[b"a", None, None], reasons=[None, "mac", "mac"]
+        )
+        assert result.accepted == 1
+        assert result.rejected == {"mac": 2}

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.flows import FlowStateTable, FSTEntry, SflAllocator
+from repro.core.flows import FlowStateTable, FSTEntry, SflAllocator, UnboundedFlowTable
 from repro.crypto.crc import ModuloHash
 
 
@@ -86,3 +86,49 @@ class TestFlowStateTable:
     def test_custom_hash_strategy(self):
         fst = FlowStateTable(16, index_hash=ModuloHash())
         assert fst.slot_for((16).to_bytes(8, "big")) == 0
+
+
+class TestUnboundedFlowTable:
+    def test_private_slot_per_key(self):
+        fst = UnboundedFlowTable()
+        keys = [i.to_bytes(8, "big") for i in range(100)]
+        slots = [fst.slot_for(k) for k in keys]
+        assert slots == list(range(100))  # allocation order, no reuse
+        assert [fst.slot_for(k) for k in keys] == slots  # stable
+        assert fst.size == 100
+
+    def test_no_collision_evictions_by_construction(self):
+        # The FlowStateTable property the load engine relies on: keys
+        # that would collide in any fixed-size table stay disjoint here.
+        fst = UnboundedFlowTable()
+        for i in range(1000):
+            fst.slot_for(i.to_bytes(8, "big"))
+        assert fst.collision_evictions == 0
+        assert len({fst.slot_for(i.to_bytes(8, "big")) for i in range(1000)}) == 1000
+
+    def test_entry_state_survives_per_slot(self):
+        fst = UnboundedFlowTable()
+        slot = fst.slot_for(b"conversation")
+        entry = fst.entry_at(slot)
+        entry.valid = True
+        entry.sfl = 7
+        assert fst.entry_at(fst.slot_for(b"conversation")).sfl == 7
+        assert fst.occupancy() == 1
+
+    def test_flush_resets_entries_but_keeps_assignment(self):
+        fst = UnboundedFlowTable()
+        slot = fst.slot_for(b"a")
+        fst.entry_at(slot).valid = True
+        fst.flush()
+        assert not fst.entry_at(slot).valid
+        assert fst.slot_for(b"a") == slot  # same slot after flush
+        assert fst.occupancy() == 0
+
+    def test_active_count(self):
+        fst = UnboundedFlowTable()
+        for i, last in enumerate((0.0, 100.0, 190.0)):
+            entry = fst.entry_at(fst.slot_for(bytes([i])))
+            entry.valid = True
+            entry.last = last
+        assert fst.active_count(now=200.0, threshold=50.0) == 1
+        assert fst.active_count(now=200.0, threshold=500.0) == 3

@@ -1,0 +1,133 @@
+"""Snapshot merging and shard-tagged traces (the ISSUE 5 obs layer).
+
+The merge operation is what makes N-process metrics trustworthy: each
+instrument kind has explicit semantics (counters/gauges sum, histograms
+merge, derived hit ratios are recomputed from merged counters), the
+operation is associative and commutative, and concatenated shard-tagged
+JSONL traces summarize to the merged totals.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.load.engine import LoadSpec, run_load
+from repro.obs import JsonlSink, MetricsRegistry, merge_snapshots, parse_metric_key
+from repro.obs.events import DatagramProtected
+from repro.obs.sinks import read_jsonl
+
+
+def snap_with(hits, misses):
+    reg = MetricsRegistry()
+    reg.counter("cache_hits", cache="TFKC").inc(hits)
+    reg.counter("cache_misses", cache="TFKC", kind="cold").inc(misses)
+    lookups = hits + misses
+    reg.gauge("cache_hit_ratio", cache="TFKC").set(
+        hits / lookups if lookups else 0.0
+    )
+    return reg.snapshot()
+
+
+class TestParseMetricKey:
+    def test_labeled_key(self):
+        assert parse_metric_key("cache_hits{cache=TFKC,kind=cold}") == (
+            "cache_hits",
+            {"cache": "TFKC", "kind": "cold"},
+        )
+
+    def test_bare_key(self):
+        assert parse_metric_key("datagrams_sent") == ("datagrams_sent", {})
+
+
+class TestMergeSemantics:
+    def test_counters_and_gauges_sum(self):
+        a = MetricsRegistry()
+        a.counter("datagrams_sent").inc(3)
+        a.gauge("active_flows").set(2)
+        b = MetricsRegistry()
+        b.counter("datagrams_sent").inc(4)
+        b.counter("datagrams_accepted").inc(1)
+        b.gauge("active_flows").set(5)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["counters"]["datagrams_sent"] == 7
+        assert merged["counters"]["datagrams_accepted"] == 1
+        assert merged["gauges"]["active_flows"] == 7
+
+    def test_histograms_merge_and_recompute_mean(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        for value in (1.0, 3.0):
+            a.histogram("mac_cost_seconds").observe(value)
+        b.histogram("mac_cost_seconds").observe(8.0)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        hist = merged["histograms"]["mac_cost_seconds"]
+        assert hist["count"] == 3
+        assert hist["sum"] == 12.0
+        assert hist["mean"] == 4.0
+        assert hist["min"] == 1.0
+        assert hist["max"] == 8.0
+        singles = [
+            s["histograms"]["mac_cost_seconds"]
+            for s in (a.snapshot(), b.snapshot())
+        ]
+        for bucket, count in hist["buckets"].items():
+            assert count == sum(s["buckets"][bucket] for s in singles)
+
+    def test_hit_ratio_recomputed_not_summed(self):
+        # 9/10 and 1/10 must merge to 10/20 = 0.5, not 0.9 + 0.1 = 1.0.
+        merged = merge_snapshots([snap_with(9, 1), snap_with(1, 9)])
+        assert merged["gauges"]["cache_hit_ratio{cache=TFKC}"] == 0.5
+
+    def test_identity_associative_commutative(self):
+        snaps = [snap_with(9, 1), snap_with(1, 9), snap_with(5, 5)]
+        assert merge_snapshots([snaps[0]]) == snaps[0]
+        left = merge_snapshots([merge_snapshots(snaps[:2]), snaps[2]])
+        right = merge_snapshots([snaps[0], merge_snapshots(snaps[1:])])
+        assert left == right
+        assert merge_snapshots(snaps) == merge_snapshots(snaps[::-1])
+
+
+class TestShardTaggedSink:
+    def test_tags_injected_into_every_record(self):
+        buffer = io.StringIO()
+        sink = JsonlSink(buffer, tags={"shard": 3})
+        sink.emit(DatagramProtected(sfl=1, size=10, secret=False))
+        sink.emit(DatagramProtected(sfl=2, size=20, secret=True))
+        records = [json.loads(line) for line in buffer.getvalue().splitlines()]
+        assert [r["shard"] for r in records] == [3, 3]
+        assert all(r["type"] == "DatagramProtected" for r in records)
+
+    def test_tags_must_not_shadow_event_fields(self):
+        for key in ("type", "t"):
+            with pytest.raises(ValueError):
+                JsonlSink(io.StringIO(), tags={key: "x"})
+
+    def test_untagged_sink_unchanged(self):
+        buffer = io.StringIO()
+        JsonlSink(buffer).emit(DatagramProtected(sfl=1, size=10, secret=False))
+        assert "shard" not in json.loads(buffer.getvalue())
+
+
+class TestSummarizeParity:
+    def test_concatenated_shard_traces_reproduce_merged_counters(self, tmp_path):
+        # The CLI contract: cat worker*.jsonl | summarize == merged
+        # registry counters.  (`python -m repro.obs summarize` is a thin
+        # wrapper over read_jsonl.)
+        run = run_load(
+            LoadSpec(
+                workers=2,
+                workload="smoke",
+                inline=True,
+                trace_dir=str(tmp_path),
+            )
+        )
+        combined = tmp_path / "all.jsonl"
+        with open(combined, "w") as out:
+            for worker in (0, 1):
+                out.write((tmp_path / f"worker{worker}.jsonl").read_text())
+        aggregate = read_jsonl(str(combined))
+        counters = run["merged"]["counters"]
+        assert aggregate.datagrams_protected == counters["datagrams_sent"]
+        assert aggregate.datagrams_accepted == counters["datagrams_accepted"]
+        assert aggregate.flows_started == counters["flows_started"]
