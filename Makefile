@@ -6,7 +6,7 @@ PYTHON ?= python3
 # no editable install needed.
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test lint obs-check resilience-smoke load-smoke bench bench-smoke examples reports clean
+.PHONY: install test lint lint-docs lint-cache-bench obs-check resilience-smoke load-smoke bench bench-smoke examples reports clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -14,10 +14,20 @@ install:
 test:
 	$(PYTHON) -m pytest -x -q
 
-# fbslint: the AST-based protocol-invariant analyzer (FBS001-FBS008).
-# Exit codes: 0 clean, 1 findings, 2 usage/analysis error.
+# fbslint: the whole-program protocol-invariant analyzer
+# (FBS001-FBS012, interprocedural). Exit codes: 0 clean, 1 findings,
+# 2 usage/analysis error. Warm reruns replay the summary cache.
 lint:
-	$(PYTHON) -m repro.analysis src
+	$(PYTHON) -m repro.analysis --cache src
+
+# Verify the DESIGN.md "Enforced invariants" table matches the rule
+# registry (regenerate with `python -m repro.analysis --write-docs`).
+lint-docs:
+	$(PYTHON) -m repro.analysis --check-docs
+
+# Cold-vs-warm cache benchmark (the CI lint-job gate: warm >= 5x cold).
+lint-cache-bench:
+	$(PYTHON) benchmarks/bench_lint_cache.py --json /tmp/BENCH_lint_cache.json
 
 # Observability: end-to-end trace/registry/cache parity selftest plus
 # docs coverage (every event + metric documented) and link checks.
@@ -64,4 +74,4 @@ reports: bench
 
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null || true
-	rm -rf .pytest_cache .hypothesis
+	rm -rf .pytest_cache .hypothesis .fbslint_cache.json

@@ -1,0 +1,96 @@
+"""fbslint incremental-cache benchmark -> BENCH_lint_cache.json.
+
+Times a cold whole-program run of the analyzer over ``src/`` (every
+module parsed and summarized) against a warm run replaying the
+content-hash summary cache, and asserts the warm run is at least
+``MIN_SPEEDUP``x faster -- the acceptance gate of the two-phase engine
+(phase 1 is cacheable precisely because summaries are serializable).
+
+Runs as a CLI -- ``python benchmarks/bench_lint_cache.py [--json PATH]
+[--min-speedup N]`` -- from the repository root (the ``lint`` CI job).
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis import lint_paths  # noqa: E402
+
+DEFAULT_JSON = REPO_ROOT / "BENCH_lint_cache.json"
+MIN_SPEEDUP = 5.0
+
+
+def run_lint_cache_bench(min_speedup=MIN_SPEEDUP):
+    target = REPO_ROOT / "src"
+    with tempfile.TemporaryDirectory() as tmp:
+        cache_path = pathlib.Path(tmp) / "fbslint_cache.json"
+
+        start = time.perf_counter()
+        cold = lint_paths([target], root=REPO_ROOT, cache_path=cache_path)
+        cold_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        warm = lint_paths([target], root=REPO_ROOT, cache_path=cache_path)
+        warm_s = time.perf_counter() - start
+
+    results = {
+        "files_checked": cold.files_checked,
+        "cold_seconds": cold_s,
+        "warm_seconds": warm_s,
+        "cold_cache_misses": cold.cache_misses,
+        "warm_cache_hits": warm.cache_hits,
+        "speedup": cold_s / warm_s if warm_s else float("inf"),
+        "min_speedup": min_speedup,
+        "findings_cold": len(cold.findings),
+        "findings_warm": len(warm.findings),
+    }
+    check_results(results)
+    return results
+
+
+def check_results(results) -> None:
+    """The acceptance gates: full replay, matching findings, >= 5x warm."""
+    assert results["warm_cache_hits"] == results["files_checked"], (
+        "warm run re-analyzed files it should have replayed: "
+        f"{results['warm_cache_hits']}/{results['files_checked']} hits"
+    )
+    assert results["findings_warm"] == results["findings_cold"], (
+        "cache replay changed the findings: "
+        f"{results['findings_cold']} cold vs {results['findings_warm']} warm"
+    )
+    assert results["speedup"] >= results["min_speedup"], (
+        f"warm lint only {results['speedup']:.1f}x faster than cold "
+        f"(gate: >= {results['min_speedup']:.0f}x)"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", type=pathlib.Path, default=DEFAULT_JSON)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=MIN_SPEEDUP,
+        help="fail unless warm/cold speedup reaches this factor",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_lint_cache_bench(min_speedup=args.min_speedup)
+    args.json.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
+    print(
+        f"lint cache: cold {results['cold_seconds']:.2f}s, "
+        f"warm {results['warm_seconds']:.2f}s over "
+        f"{results['files_checked']} files -> "
+        f"{results['speedup']:.1f}x (gate >= {results['min_speedup']:.0f}x)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

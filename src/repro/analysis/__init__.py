@@ -5,13 +5,22 @@ repository upholds by convention -- constant-time MAC compares, typed
 receive errors with metrics, seeded randomness, a virtual-time netsim,
 the 32-byte header layout.  *Knowledge Flow Analysis for Security
 Protocols* (Torlak et al., PAPERS.md) makes the case for checking such
-flow properties mechanically; this package is that check for our tree,
-as a small AST rule framework plus seven domain rules (FBS001-FBS007).
+flow properties mechanically; this package is that check for our tree:
+a two-phase whole-program analyzer.  Phase 1
+(:mod:`repro.analysis.callgraph`) parses every module once into a
+serializable summary and a project-wide symbol table + call graph;
+phase 2 (:mod:`repro.analysis.dataflow`) runs interprocedural passes
+over the graph -- key-material taint with source-to-sink witnesses,
+exception-flow accounting, impurity propagation, async-blocking, and
+report-order determinism -- behind the per-file rules FBS001-FBS012.
+A content-hash cache (:mod:`repro.analysis.cache`) replays unchanged
+files' phase-1 artifacts so warm runs skip parsing entirely.
 
 Run it as ``python -m repro.analysis [paths]`` (see
 :mod:`repro.analysis.cli` for the exit-code contract) or through
 ``make lint``.  DESIGN.md's "Enforced invariants" section documents
-each rule and how to suppress a false positive.
+each rule (the table is generated from the registry; ``--check-docs``
+keeps it honest) and how to suppress a false positive.
 """
 
 from repro.analysis.base import Rule, all_rules, get_rule, register

@@ -1,0 +1,115 @@
+"""Content-hash incremental cache for the whole-program analyzer.
+
+The expensive half of a lint run is phase 1: parsing every module and
+walking its AST once per local rule plus twice for the dataflow
+summarizer.  Everything phase 2 needs -- the
+:class:`~repro.analysis.callgraph.ModuleSummary`, the raw
+(pre-suppression, pre-baseline) local findings, and the suppression
+directives -- is serializable, so an unchanged file can be replayed
+from disk without touching :mod:`ast` at all.  Phase 2 itself is
+recomputed from the summaries on every run; it is cheap, and always
+recomputing it means a change in one module is automatically re-judged
+against its whole reverse-dependency cone.
+
+Entries are keyed by report path and validated by the SHA-256 of the
+file *content* (never mtimes -- the cache must behave identically
+across checkouts) plus the id set of the rules that produced the cached
+findings.  A stale or unreadable cache file is treated as empty; cache
+writes go through a temp file + ``os.replace`` so a crashed run never
+leaves a torn file behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.callgraph import ModuleSummary
+from repro.analysis.findings import Finding
+from repro.analysis.suppressions import SuppressionIndex
+
+__all__ = ["SummaryCache", "content_hash", "DEFAULT_CACHE_FILE"]
+
+#: Bump when summaries, findings, or suppression serialization change.
+_CACHE_VERSION = 1
+
+DEFAULT_CACHE_FILE = ".fbslint_cache.json"
+
+
+def content_hash(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+class SummaryCache:
+    """Per-file phase-1 artifacts keyed by content hash."""
+
+    def __init__(self, path: Path, rules_signature: str) -> None:
+        self.path = path
+        self.rules_signature = rules_signature
+        self.dirty = False
+        self.hits = 0
+        self.misses = 0
+        self.entries: Dict[str, dict] = {}
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            payload = None
+        if (
+            isinstance(payload, dict)
+            and payload.get("version") == _CACHE_VERSION
+            and payload.get("rules") == rules_signature
+            and isinstance(payload.get("entries"), dict)
+        ):
+            self.entries = payload["entries"]
+
+    def get(
+        self, report_path: str, sha: str
+    ) -> Optional[Tuple[ModuleSummary, List[Finding], SuppressionIndex]]:
+        entry = self.entries.get(report_path)
+        if not isinstance(entry, dict) or entry.get("sha") != sha:
+            self.misses += 1
+            return None
+        try:
+            summary = ModuleSummary.from_dict(entry["summary"])
+            findings = [Finding.from_dict(f) for f in entry["findings"]]
+            suppressions = SuppressionIndex.from_dict(entry["suppressions"])
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return summary, findings, suppressions
+
+    def put(
+        self,
+        report_path: str,
+        sha: str,
+        summary: ModuleSummary,
+        findings: List[Finding],
+        suppressions: SuppressionIndex,
+    ) -> None:
+        self.entries[report_path] = {
+            "sha": sha,
+            "summary": summary.as_dict(),
+            "findings": [f.as_dict() for f in findings],
+            "suppressions": suppressions.as_dict(),
+        }
+        self.dirty = True
+
+    def save(self) -> None:
+        if not self.dirty:
+            return
+        payload = {
+            "version": _CACHE_VERSION,
+            "rules": self.rules_signature,
+            "entries": self.entries,
+        }
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(
+            json.dumps(payload, sort_keys=True, separators=(",", ":")),
+            encoding="utf-8",
+        )
+        os.replace(tmp, self.path)
+        self.dirty = False

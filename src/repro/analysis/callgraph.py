@@ -1,0 +1,1561 @@
+"""Phase 1 of the whole-program analyzer: module summaries + call graph.
+
+fbslint v2 analyzes the tree in two phases.  Phase 1 (this module)
+parses every module once and distills each into a serializable
+:class:`ModuleSummary`: the functions it defines, the calls they make
+(with enough surrounding context -- enclosing ``try`` handlers,
+preceding metrics bumps, argument dataflow labels -- for the
+interprocedural passes), the classes and their statically-evident
+attribute types, and the module's imports.  Phase 2
+(:mod:`repro.analysis.dataflow`) never touches an AST: it runs
+fixpoint passes over a :class:`Project` built from these summaries,
+which is what makes the content-hash cache
+(:mod:`repro.analysis.cache`) possible -- an unchanged module's
+summary is replayed from disk without re-parsing.
+
+The dataflow vocabulary is a small label language.  Every expression
+evaluates to a set of *labels* describing where its value may come
+from:
+
+* ``("src", desc, line)`` -- the result of a key-derivation call
+  (taint source, knowledge-flow style);
+* ``("set", desc, line)`` -- an unordered ``set``/``frozenset`` value
+  (iteration-order source for FBS011);
+* ``("param", name)`` -- the function's own parameter ``name``;
+* ``("ret", site)`` -- the return value of call site ``site``;
+* ``("attr", owner, name)`` -- attribute ``name`` of class ``owner``
+  (``self.name`` loads/stores);
+* ``("ord", *label)`` -- ``label`` behind an order-safe boundary (an
+  element of a list/tuple/dict, or a ``sorted()`` result): taint still
+  flows, iteration-order sensitivity does not.  Subscripts and loop
+  targets peel one layer.
+
+Whether a ``param``/``ret``/``attr`` label actually carries key
+material (or set-ordering) is decided by the interprocedural fixpoint
+in phase 2; phase 1 only records the local flows.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.context import ModuleContext
+
+__all__ = [
+    "CallSite",
+    "RaiseSite",
+    "SinkSite",
+    "OrderSite",
+    "FunctionSummary",
+    "ClassSummary",
+    "ModuleSummary",
+    "Project",
+    "summarize_module",
+    "is_metrics_bump",
+    "raised_name",
+    "handler_names",
+    "BUILTIN_EXC_PARENTS",
+]
+
+Label = Tuple[Any, ...]
+
+#: A call whose target name contains one of these is a key-material
+#: taint source (shared with the FBS001 local rule).
+SOURCE_FRAGMENTS = (
+    "flow_key",
+    "master_key",
+    "mac_key",
+    "encryption_key",
+    "session_key",
+    "interval_key",
+    "derive_key",
+)
+SOURCE_NAMES = {"agree"}
+
+LOG_METHODS = {"debug", "info", "warning", "error", "exception", "critical", "log"}
+
+#: Builtins that consume an iterable without exposing its order but
+#: whose result still carries the contents (taint survives, order
+#: hazard does not).
+_ORDER_INSENSITIVE = {"sorted", "sum", "min", "max"}
+#: Builtins whose scalar result carries neither contents nor order
+#: (``len(key)`` is not key material).
+_SCALAR_CONSUMERS = {"len", "any", "all", "bool"}
+#: Builtins/constructors that expose the iteration order of their argument.
+_ORDER_EXPOSING = {"list", "tuple", "enumerate", "iter", "reversed"}
+
+#: Container mutators that inject their argument's taint into the receiver.
+_CONTAINER_MUTATORS = {"append", "add", "insert", "extend", "update", "setdefault"}
+
+#: Direct blocking primitives (FBS010); dotted call names.
+BLOCKING_CALLS = {
+    "time.sleep": "time.sleep()",
+    "os.system": "os.system()",
+    "os.popen": "os.popen()",
+    "os.wait": "os.wait()",
+    "subprocess.run": "subprocess.run()",
+    "subprocess.call": "subprocess.call()",
+    "subprocess.check_call": "subprocess.check_call()",
+    "subprocess.check_output": "subprocess.check_output()",
+    "subprocess.Popen": "subprocess.Popen()",
+    "socket.create_connection": "socket.create_connection()",
+    "socket.socket": "socket.socket()",
+    "socket.getaddrinfo": "socket.getaddrinfo()",
+    "socket.gethostbyname": "socket.gethostbyname()",
+}
+#: Bare names that block when called inside ``async def`` (sync file I/O).
+BLOCKING_BARE = {"open": "open()", "input": "input()"}
+
+_BANNED_TIME_ATTRS = {
+    "time",
+    "time_ns",
+    "monotonic",
+    "monotonic_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "process_time",
+    "process_time_ns",
+    "clock",
+}
+_BANNED_DATETIME_ATTRS = {"now", "today", "utcnow"}
+
+#: Minimal builtin exception hierarchy (child -> parent) used when
+#: deciding whether an ``except`` clause guards a raise.
+BUILTIN_EXC_PARENTS = {
+    "Exception": "BaseException",
+    "ArithmeticError": "Exception",
+    "ZeroDivisionError": "ArithmeticError",
+    "OverflowError": "ArithmeticError",
+    "AssertionError": "Exception",
+    "AttributeError": "Exception",
+    "LookupError": "Exception",
+    "KeyError": "LookupError",
+    "IndexError": "LookupError",
+    "NameError": "Exception",
+    "NotImplementedError": "RuntimeError",
+    "RecursionError": "RuntimeError",
+    "OSError": "Exception",
+    "IOError": "OSError",
+    "FileNotFoundError": "OSError",
+    "PermissionError": "OSError",
+    "RuntimeError": "Exception",
+    "StopIteration": "Exception",
+    "TypeError": "Exception",
+    "ValueError": "Exception",
+    "UnicodeDecodeError": "ValueError",
+    "UnicodeEncodeError": "ValueError",
+}
+
+
+def dotted(node: ast.AST) -> str:
+    """``a.b.c`` for Name/Attribute chains, ``""`` otherwise."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    elif parts:
+        parts.append("?")
+    return ".".join(reversed(parts))
+
+
+def raised_name(node: ast.Raise) -> Optional[str]:
+    """The exception class name of ``raise X(...)`` / ``raise X``."""
+    exc = node.exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Attribute):
+        return exc.attr
+    if isinstance(exc, ast.Name):
+        return exc.id
+    return None
+
+
+def handler_names(handler: ast.ExceptHandler) -> Set[str]:
+    """Exception class names caught by one handler."""
+    node = handler.type
+    names: Set[str] = set()
+    if node is None:
+        return {"BaseException"}
+    items = node.elts if isinstance(node, ast.Tuple) else [node]
+    for item in items:
+        if isinstance(item, ast.Attribute):
+            names.add(item.attr)
+        elif isinstance(item, ast.Name):
+            names.add(item.id)
+    return names
+
+
+def is_metrics_bump(stmt: Optional[ast.stmt]) -> bool:
+    """Is this statement a rejection-accounting step?
+
+    Either the legacy augmented ``+=`` on a ``metrics`` attribute path,
+    or the registry-era bookkeeping call (``self._rejected(...)``,
+    any call whose last name segment contains ``reject``).
+    """
+    if (
+        isinstance(stmt, ast.AugAssign)
+        and isinstance(stmt.op, ast.Add)
+        and "metrics" in dotted(stmt.target).split(".")
+    ):
+        return True
+    if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+        segments = dotted(stmt.value.func).split(".")
+        return bool(segments) and "reject" in segments[-1]
+    return False
+
+
+def _is_source_call(node: ast.Call) -> Optional[str]:
+    func = node.func
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else ""
+    )
+    if name in SOURCE_NAMES or any(f in name for f in SOURCE_FRAGMENTS):
+        return name
+    return None
+
+
+# -- summary dataclasses ---------------------------------------------------------------
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function."""
+
+    callee: str  # dotted target as written ("self._rejected", "modes.decrypt")
+    line: int
+    col: int
+    #: Labels of each positional argument.
+    args: List[List[Label]] = field(default_factory=list)
+    #: Labels of each keyword argument.
+    kwargs: Dict[str, List[Label]] = field(default_factory=dict)
+    #: Exception names caught by ``try`` blocks enclosing this site.
+    caught: List[str] = field(default_factory=list)
+    #: A metrics bump immediately precedes this statement.
+    bump_before: bool = False
+
+    def as_dict(self) -> dict:
+        return {
+            "callee": self.callee,
+            "line": self.line,
+            "col": self.col,
+            "args": [[list(l) for l in labels] for labels in self.args],
+            "kwargs": {k: [list(l) for l in v] for k, v in sorted(self.kwargs.items())},
+            "caught": sorted(self.caught),
+            "bump_before": self.bump_before,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CallSite":
+        return cls(
+            callee=d["callee"],
+            line=d["line"],
+            col=d["col"],
+            args=[[tuple(l) for l in labels] for labels in d["args"]],
+            kwargs={k: [tuple(l) for l in v] for k, v in d["kwargs"].items()},
+            caught=list(d["caught"]),
+            bump_before=d["bump_before"],
+        )
+
+
+@dataclass
+class RaiseSite:
+    """One ``raise`` statement."""
+
+    name: Optional[str]  # None for a bare re-raise
+    line: int
+    col: int
+    bump_before: bool
+    #: Names caught by ``try`` blocks enclosing the raise itself.
+    caught: List[str] = field(default_factory=list)
+    #: For a bare ``raise``: the names its enclosing handler catches.
+    reraise_of: List[str] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "line": self.line,
+            "col": self.col,
+            "bump_before": self.bump_before,
+            "caught": sorted(self.caught),
+            "reraise_of": sorted(self.reraise_of),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RaiseSite":
+        return cls(
+            name=d["name"],
+            line=d["line"],
+            col=d["col"],
+            bump_before=d["bump_before"],
+            caught=list(d["caught"]),
+            reraise_of=list(d["reraise_of"]),
+        )
+
+
+@dataclass
+class SinkSite:
+    """A taint sink occurrence (FBS001 v2)."""
+
+    kind: str  # "print()", "logging call .debug()", "f-string", "=="
+    line: int
+    col: int
+    labels: List[Label]
+    desc: str  # human handle on the flowing expression
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "line": self.line,
+            "col": self.col,
+            "labels": [list(l) for l in self.labels],
+            "desc": self.desc,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SinkSite":
+        return cls(
+            kind=d["kind"],
+            line=d["line"],
+            col=d["col"],
+            labels=[tuple(l) for l in d["labels"]],
+            desc=d["desc"],
+        )
+
+
+@dataclass
+class OrderSite:
+    """An iteration-order exposure (FBS011): for/comprehension/list()."""
+
+    kind: str  # "for loop", "comprehension", "list()", ...
+    line: int
+    col: int
+    labels: List[Label]
+    desc: str
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "line": self.line,
+            "col": self.col,
+            "labels": [list(l) for l in self.labels],
+            "desc": self.desc,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "OrderSite":
+        return cls(
+            kind=d["kind"],
+            line=d["line"],
+            col=d["col"],
+            labels=[tuple(l) for l in d["labels"]],
+            desc=d["desc"],
+        )
+
+
+@dataclass
+class FunctionSummary:
+    """Everything phase 2 needs to know about one function."""
+
+    qname: str  # "FBSEndpoint.unprotect", "decode", "<module>"
+    name: str
+    line: int
+    params: List[str] = field(default_factory=list)
+    is_async: bool = False
+    is_public: bool = True
+    class_name: Optional[str] = None
+    decorators: List[str] = field(default_factory=list)
+    calls: List[CallSite] = field(default_factory=list)
+    raises: List[RaiseSite] = field(default_factory=list)
+    sinks: List[SinkSite] = field(default_factory=list)
+    order_sites: List[OrderSite] = field(default_factory=list)
+    #: Labels that may flow into the return value (or a yield).
+    returns: List[Label] = field(default_factory=list)
+    #: ``self.X = <labels>`` stores: (attr, labels, line).
+    attr_stores: List[Tuple[str, List[Label], int]] = field(default_factory=list)
+    #: Direct wall-clock reads: (desc, line, col).
+    wall_clock: List[Tuple[str, int, int]] = field(default_factory=list)
+    #: Direct global/unseeded randomness: (desc, line, col).
+    unseeded_random: List[Tuple[str, int, int]] = field(default_factory=list)
+    #: Direct blocking primitives: (desc, line, col).
+    blocking: List[Tuple[str, int, int]] = field(default_factory=list)
+    #: json.dump/json.dumps calls missing sort_keys: (fn, line, col).
+    unsorted_json: List[Tuple[str, int, int]] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "qname": self.qname,
+            "name": self.name,
+            "line": self.line,
+            "params": self.params,
+            "is_async": self.is_async,
+            "is_public": self.is_public,
+            "class_name": self.class_name,
+            "decorators": self.decorators,
+            "calls": [c.as_dict() for c in self.calls],
+            "raises": [r.as_dict() for r in self.raises],
+            "sinks": [s.as_dict() for s in self.sinks],
+            "order_sites": [s.as_dict() for s in self.order_sites],
+            "returns": [list(l) for l in self.returns],
+            "attr_stores": [
+                [a, [list(l) for l in labels], line]
+                for a, labels, line in self.attr_stores
+            ],
+            "wall_clock": [list(t) for t in self.wall_clock],
+            "unseeded_random": [list(t) for t in self.unseeded_random],
+            "blocking": [list(t) for t in self.blocking],
+            "unsorted_json": [list(t) for t in self.unsorted_json],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FunctionSummary":
+        return cls(
+            qname=d["qname"],
+            name=d["name"],
+            line=d["line"],
+            params=list(d["params"]),
+            is_async=d["is_async"],
+            is_public=d["is_public"],
+            class_name=d["class_name"],
+            decorators=list(d["decorators"]),
+            calls=[CallSite.from_dict(c) for c in d["calls"]],
+            raises=[RaiseSite.from_dict(r) for r in d["raises"]],
+            sinks=[SinkSite.from_dict(s) for s in d["sinks"]],
+            order_sites=[OrderSite.from_dict(s) for s in d["order_sites"]],
+            returns=[tuple(l) for l in d["returns"]],
+            attr_stores=[
+                (a, [tuple(l) for l in labels], line)
+                for a, labels, line in d["attr_stores"]
+            ],
+            wall_clock=[tuple(t) for t in d["wall_clock"]],
+            unseeded_random=[tuple(t) for t in d["unseeded_random"]],
+            blocking=[tuple(t) for t in d["blocking"]],
+            unsorted_json=[tuple(t) for t in d["unsorted_json"]],
+        )
+
+
+@dataclass
+class ClassSummary:
+    name: str
+    line: int
+    bases: List[str] = field(default_factory=list)
+    methods: List[str] = field(default_factory=list)  # qnames into functions
+    #: Statically-evident attribute types: attr -> dotted class expr
+    #: (from ``self.attr = ClassName(...)`` assignments).
+    attr_types: Dict[str, str] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "line": self.line,
+            "bases": self.bases,
+            "methods": self.methods,
+            "attr_types": dict(sorted(self.attr_types.items())),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ClassSummary":
+        return cls(
+            name=d["name"],
+            line=d["line"],
+            bases=list(d["bases"]),
+            methods=list(d["methods"]),
+            attr_types=dict(d["attr_types"]),
+        )
+
+
+@dataclass
+class ModuleSummary:
+    """The phase-1 product for one source file."""
+
+    path: str  # report path (repo-relative)
+    module: Optional[str]  # dotted "repro.core.protocol" or None
+    #: Import bindings: local name -> ("module", target) | ("from", module, name).
+    imports: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    functions: Dict[str, FunctionSummary] = field(default_factory=dict)
+    classes: Dict[str, ClassSummary] = field(default_factory=dict)
+    #: Test modules are exempt from most interprocedural findings.
+    is_test: bool = False
+    #: Full dotted names of imported modules (dependency edges for the
+    #: reverse-dependency cone in ``--changed`` mode).
+    depends: List[str] = field(default_factory=list)
+
+    @property
+    def key(self) -> str:
+        return self.module or self.path
+
+    def as_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "module": self.module,
+            "imports": {k: list(v) for k, v in sorted(self.imports.items())},
+            "functions": {
+                q: f.as_dict() for q, f in sorted(self.functions.items())
+            },
+            "classes": {n: c.as_dict() for n, c in sorted(self.classes.items())},
+            "is_test": self.is_test,
+            "depends": self.depends,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ModuleSummary":
+        return cls(
+            path=d["path"],
+            module=d["module"],
+            imports={k: tuple(v) for k, v in d["imports"].items()},
+            functions={
+                q: FunctionSummary.from_dict(f) for q, f in d["functions"].items()
+            },
+            classes={n: ClassSummary.from_dict(c) for n, c in d["classes"].items()},
+            is_test=d.get("is_test", False),
+            depends=list(d.get("depends", ())),
+        )
+
+
+# -- phase-1 summarizer ----------------------------------------------------------------
+
+
+class _ModuleSummarizer:
+    def __init__(self, ctx: ModuleContext) -> None:
+        self.ctx = ctx
+        module = ".".join(ctx.module_parts) if ctx.module_parts else None
+        self.summary = ModuleSummary(path=ctx.path, module=module)
+        self._collect_imports(ctx.tree)
+        self._alias_time: Set[str] = self._aliases_of("time")
+        self._alias_datetime: Set[str] = self._aliases_of("datetime")
+        self._alias_random: Set[str] = self._aliases_of("random")
+        self._alias_json: Set[str] = self._aliases_of("json")
+        self._from_time: Set[str] = self._from_names("time")
+        self._from_datetime: Set[str] = self._from_names("datetime")
+        self._from_random: Set[str] = self._from_names("random")
+        self._from_json: Set[str] = self._from_names("json")
+
+    def _aliases_of(self, root: str) -> Set[str]:
+        return {
+            local
+            for local, target in self.summary.imports.items()
+            if target[0] == "module" and target[1].split(".")[0] == root
+        }
+
+    def _from_names(self, root: str) -> Set[str]:
+        return {
+            local
+            for local, target in self.summary.imports.items()
+            if target[0] == "from" and target[1].split(".")[0] == root
+        }
+
+    def _collect_imports(self, tree: ast.Module) -> None:
+        depends: List[str] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for item in node.names:
+                    depends.append(item.name)
+                    if item.asname:
+                        self.summary.imports[item.asname] = ("module", item.name)
+                    else:
+                        root = item.name.split(".")[0]
+                        self.summary.imports[root] = ("module", root)
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                depends.append(node.module)
+                for item in node.names:
+                    depends.append(f"{node.module}.{item.name}")
+                    local = item.asname or item.name
+                    self.summary.imports[local] = ("from", node.module, item.name)
+        seen: Set[str] = set()
+        for dep in depends:
+            if dep not in seen:
+                seen.add(dep)
+                self.summary.depends.append(dep)
+
+    def run(self) -> ModuleSummary:
+        body_stmts: List[ast.stmt] = []
+        for stmt in self.ctx.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._function(stmt, class_name=None, prefix="")
+            elif isinstance(stmt, ast.ClassDef):
+                self._class(stmt)
+            else:
+                body_stmts.append(stmt)
+        # Module-level statements form a pseudo-function so module-level
+        # calls/sinks take part in the interprocedural passes.
+        fs = _FunctionSummarizer(
+            self, "<module>", "<module>", body_stmts, params=[], is_async=False,
+            class_name=None, line=1, decorators=[],
+        ).run()
+        self.summary.functions["<module>"] = fs
+        return self.summary
+
+    def _class(self, node: ast.ClassDef) -> None:
+        cs = ClassSummary(
+            name=node.name, line=node.lineno, bases=[dotted(b) for b in node.bases]
+        )
+        self.summary.classes[node.name] = cs
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qname = self._function(stmt, class_name=node.name, prefix=node.name + ".")
+                cs.methods.append(qname)
+            elif isinstance(stmt, ast.ClassDef):
+                self._class(stmt)  # nested classes analyzed flat
+
+    def _function(
+        self,
+        node: ast.stmt,
+        class_name: Optional[str],
+        prefix: str,
+    ) -> str:
+        qname = prefix + node.name
+        params = [a.arg for a in (
+            node.args.posonlyargs + node.args.args + node.args.kwonlyargs
+        )]
+        if node.args.vararg:
+            params.append(node.args.vararg.arg)
+        if node.args.kwarg:
+            params.append(node.args.kwarg.arg)
+        decorators = [dotted(d) for d in node.decorator_list]
+        fs = _FunctionSummarizer(
+            self,
+            qname,
+            node.name,
+            node.body,
+            params=params,
+            is_async=isinstance(node, ast.AsyncFunctionDef),
+            class_name=class_name,
+            line=node.lineno,
+            decorators=decorators,
+        ).run()
+        self.summary.functions[qname] = fs
+        # Immediate nested defs get their own summaries (one level of
+        # prefixing per nesting level; _direct_defs does not descend into
+        # them, so each is summarized exactly once).
+        for stmt in _direct_defs(node.body):
+            self._function(stmt, class_name=class_name, prefix=qname + ".")
+        return qname
+
+
+class _FunctionSummarizer:
+    """Intra-function label propagation (two passes to a fixpoint)."""
+
+    def __init__(
+        self,
+        owner: _ModuleSummarizer,
+        qname: str,
+        name: str,
+        body: Sequence[ast.stmt],
+        params: List[str],
+        is_async: bool,
+        class_name: Optional[str],
+        line: int,
+        decorators: List[str],
+    ) -> None:
+        self.owner = owner
+        self.body = body
+        self.fs = FunctionSummary(
+            qname=qname,
+            name=name,
+            line=line,
+            params=params,
+            is_async=is_async,
+            is_public=not name.startswith("_") or name == "<module>",
+            class_name=class_name,
+            decorators=decorators,
+        )
+        self.env: Dict[str, Set[Label]] = {
+            p: {("param", p)} for p in params if p not in ("self", "cls")
+        }
+        self.recording = False
+        self._site_ids: Dict[Tuple[int, int, str], int] = {}
+        #: >0 while evaluating arguments of an order-insensitive
+        #: consumer (``sorted(x for x in s)`` is safe end to end).
+        self._order_suppress = 0
+
+    def run(self) -> FunctionSummary:
+        for recording in (False, True):
+            self.recording = recording
+            self._block(self.body, caught=(), preceding=None)
+        return self.fs
+
+    # -- statement walk ----------------------------------------------------------------
+
+    def _block(
+        self,
+        stmts: Sequence[ast.stmt],
+        caught: Tuple[str, ...],
+        preceding: Optional[ast.stmt],
+    ) -> None:
+        for i, stmt in enumerate(stmts):
+            prev = stmts[i - 1] if i > 0 else preceding
+            self._stmt(stmt, caught, prev)
+
+    def _stmt(
+        self, stmt: ast.stmt, caught: Tuple[str, ...], prev: Optional[ast.stmt]
+    ) -> None:
+        bump = is_metrics_bump(prev)
+        if isinstance(stmt, ast.Assign):
+            labels = self._eval(stmt.value, caught, bump)
+            for target in stmt.targets:
+                self._assign(target, labels, stmt.lineno)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                labels = self._eval(stmt.value, caught, bump)
+                self._assign(stmt.target, labels, stmt.lineno)
+        elif isinstance(stmt, ast.AugAssign):
+            labels = self._eval(stmt.value, caught, bump)
+            if isinstance(stmt.target, ast.Name):
+                self.env.setdefault(stmt.target.id, set()).update(labels)
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value, caught, bump)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                labels = self._eval(stmt.value, caught, bump)
+                if self.recording:
+                    for l in sorted(labels):
+                        if l not in self.fs.returns:
+                            self.fs.returns.append(l)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self._eval(stmt.exc, caught, bump)
+            if stmt.cause is not None:
+                self._eval(stmt.cause, caught, bump)
+            if self.recording:
+                self.fs.raises.append(
+                    RaiseSite(
+                        name=raised_name(stmt),
+                        line=stmt.lineno,
+                        col=stmt.col_offset + 1,
+                        bump_before=bump,
+                        caught=sorted(set(caught)),
+                        reraise_of=[],
+                    )
+                )
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self._eval(stmt.test, caught, bump)
+            self._block(stmt.body, caught, preceding=prev)
+            self._block(stmt.orelse, caught, preceding=prev)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_labels = self._eval(stmt.iter, caught, bump)
+            self._record_order_site("for loop", stmt.iter, iter_labels)
+            self._assign(stmt.target, self._element_labels(iter_labels), stmt.lineno)
+            self._block(stmt.body, caught, preceding=prev)
+            self._block(stmt.orelse, caught, preceding=prev)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                labels = self._eval(item.context_expr, caught, bump)
+                if item.optional_vars is not None:
+                    self._assign(item.optional_vars, labels, stmt.lineno)
+            self._block(stmt.body, caught, preceding=prev)
+        elif isinstance(stmt, ast.Try):
+            names: Set[str] = set()
+            for handler in stmt.handlers:
+                names |= handler_names(handler)
+            self._block(stmt.body, caught + tuple(sorted(names)), preceding=prev)
+            for handler in stmt.handlers:
+                self._handler(handler, caught, prev)
+            self._block(stmt.orelse, caught, preceding=prev)
+            self._block(stmt.finalbody, caught, preceding=prev)
+        elif isinstance(stmt, ast.Assert):
+            self._eval(stmt.test, caught, bump)
+            if stmt.msg is not None:
+                self._eval(stmt.msg, caught, bump)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # summarized separately
+        elif isinstance(stmt, (ast.Import, ast.ImportFrom, ast.Pass, ast.Break,
+                               ast.Continue, ast.Global, ast.Nonlocal)):
+            return
+        else:
+            # Unmodeled statements (match, delete, ...): evaluate child
+            # expressions so calls/sinks inside them are still recorded.
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._eval(child, caught, bump)
+                elif isinstance(child, ast.stmt):
+                    self._stmt(child, caught, None)
+
+    def _handler(
+        self, handler: ast.ExceptHandler, caught: Tuple[str, ...],
+        prev: Optional[ast.stmt],
+    ) -> None:
+        h_names = sorted(handler_names(handler))
+        for i, stmt in enumerate(handler.body):
+            inner_prev = handler.body[i - 1] if i > 0 else prev
+            if isinstance(stmt, ast.Raise) and stmt.exc is None:
+                if self.recording:
+                    self.fs.raises.append(
+                        RaiseSite(
+                            name=None,
+                            line=stmt.lineno,
+                            col=stmt.col_offset + 1,
+                            bump_before=is_metrics_bump(inner_prev),
+                            caught=sorted(set(caught)),
+                            reraise_of=h_names,
+                        )
+                    )
+            else:
+                self._stmt(stmt, caught, inner_prev)
+
+    def _assign(self, target: ast.AST, labels: Set[Label], line: int) -> None:
+        if isinstance(target, ast.Name):
+            self.env.setdefault(target.id, set()).update(labels)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._assign(elt, labels, line)
+        elif isinstance(target, ast.Starred):
+            self._assign(target.value, labels, line)
+        elif isinstance(target, ast.Attribute):
+            base = target.value
+            if isinstance(base, ast.Name) and base.id in ("self", "cls"):
+                owner = self.fs.class_name
+                if owner and self.recording:
+                    self.fs.attr_stores.append((target.attr, sorted(labels), line))
+                    # Statically-evident attribute type for call resolution.
+                    cls_summary = self.owner.summary.classes.get(owner)
+                    if cls_summary is not None and target.attr not in cls_summary.attr_types:
+                        ctor = self._constructor_of(labels)
+                        if ctor:
+                            cls_summary.attr_types[target.attr] = ctor
+
+    def _constructor_of(self, labels: Set[Label]) -> Optional[str]:
+        ctors = sorted({l[1] for l in labels if l[0] == "ctor"})
+        if len(ctors) == 1:
+            return ctors[0]
+        return None
+
+    # -- expression evaluation ---------------------------------------------------------
+
+    def _eval(
+        self, node: ast.expr, caught: Tuple[str, ...], bump: bool
+    ) -> Set[Label]:
+        if isinstance(node, ast.Name):
+            return set(self.env.get(node.id, ()))
+        if isinstance(node, ast.Call):
+            return self._call(node, caught, bump)
+        if isinstance(node, ast.Attribute):
+            base = node.value
+            if isinstance(base, ast.Name) and base.id in ("self", "cls"):
+                owner = self.fs.class_name
+                if owner:
+                    key = self.owner.summary.key
+                    return {("attr", f"{key}.{owner}", node.attr)}
+                return set()
+            return self._eval(base, caught, bump)
+        if isinstance(node, ast.Subscript):
+            labels = self._eval(node.value, caught, bump)
+            self._eval(node.slice, caught, bump)
+            if isinstance(node.slice, ast.Slice):
+                return labels  # a slice keeps the container type
+            # Indexing peels one container layer: an element extracted
+            # from a list-of-sets is a set again.
+            return self._unwrap_ord(labels)
+        if isinstance(node, ast.BinOp):
+            return self._eval(node.left, caught, bump) | self._eval(
+                node.right, caught, bump
+            )
+        if isinstance(node, ast.BoolOp):
+            out: Set[Label] = set()
+            for v in node.values:
+                out |= self._eval(v, caught, bump)
+            return out
+        if isinstance(node, ast.UnaryOp):
+            return self._eval(node.operand, caught, bump)
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test, caught, bump)
+            return self._eval(node.body, caught, bump) | self._eval(
+                node.orelse, caught, bump
+            )
+        if isinstance(node, ast.Compare):
+            return self._compare(node, caught, bump)
+        if isinstance(node, (ast.Tuple, ast.List)):
+            # Elements sit behind an ordered container: iterating the
+            # container is order-safe even when an element is a set.
+            out = set()
+            for elt in node.elts:
+                out |= self._eval(elt, caught, bump)
+            return self._wrap_ord(out)
+        if isinstance(node, ast.Set):
+            out = {("set", "set literal", node.lineno)}
+            for elt in node.elts:
+                out |= self._wrap_ord(
+                    self._taint_only(self._eval(elt, caught, bump))
+                )
+            return out
+        if isinstance(node, ast.Dict):
+            out = set()
+            for k in node.keys:
+                if k is not None:
+                    out |= self._eval(k, caught, bump)
+            for v in node.values:
+                out |= self._eval(v, caught, bump)
+            return self._wrap_ord(out)
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value, caught, bump)
+        if isinstance(node, ast.Await):
+            return self._eval(node.value, caught, bump)
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            if node.value is not None:
+                labels = self._eval(node.value, caught, bump)
+                if self.recording:
+                    for l in sorted(labels):
+                        if l not in self.fs.returns:
+                            self.fs.returns.append(l)
+            return set()
+        if isinstance(node, ast.NamedExpr):
+            labels = self._eval(node.value, caught, bump)
+            self._assign(node.target, labels, node.lineno)
+            return labels
+        if isinstance(node, ast.JoinedStr):
+            for part in node.values:
+                if isinstance(part, ast.FormattedValue):
+                    labels = self._eval(part.value, caught, bump)
+                    self._record_sink(
+                        "f-string", part, labels, self._describe(part.value)
+                    )
+            return set()
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.SetComp, ast.DictComp)):
+            return self._comprehension(node, caught, bump)
+        if isinstance(node, ast.Lambda):
+            return set()
+        if isinstance(node, ast.FormattedValue):
+            labels = self._eval(node.value, caught, bump)
+            self._record_sink("f-string", node, labels, self._describe(node.value))
+            return set()
+        if isinstance(node, ast.Constant):
+            return set()
+        # Fallback: union over child expressions.
+        out = set()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                out |= self._eval(child, caught, bump)
+        return out
+
+    @staticmethod
+    def _taint_only(labels: Set[Label]) -> Set[Label]:
+        return {l for l in labels if l[0] != "set"}
+
+    @staticmethod
+    def _wrap_ord(labels: Set[Label]) -> Set[Label]:
+        """Neutralize order-sensitivity while preserving taint.
+
+        An ``("ord", ...)`` prefix marks a label whose value sits behind
+        an order-safe boundary: an element inside a list/tuple/dict, or
+        the result of ``sorted()``.  The taint pass strips the prefix
+        and keeps propagating; the report-order pass ignores wrapped
+        labels entirely.
+        """
+        return {("ord",) + l for l in labels}
+
+    @staticmethod
+    def _unwrap_ord(labels: Set[Label]) -> Set[Label]:
+        """Peel one container layer (subscript / loop-target extraction)."""
+        return {tuple(l[1:]) if l[0] == "ord" else l for l in labels}
+
+    @staticmethod
+    def _element_labels(labels: Set[Label]) -> Set[Label]:
+        """Labels a loop target inherits from the iterated value.
+
+        An element extracted from a list-of-sets (ord-wrapped) is a set
+        again; an element of a *set* is not itself a set, so the
+        container's own order-sensitivity must not stick to it -- only
+        its taint does (hence the ord wrap on the passthrough labels).
+        """
+        return {
+            tuple(l[1:]) if l[0] == "ord" else ("ord",) + l
+            for l in labels
+            if l[0] != "set"
+        }
+
+    def _comprehension(self, node: ast.expr, caught: Tuple[str, ...], bump: bool) -> Set[Label]:
+        # Set/dict comprehensions do not preserve source order anyway, so
+        # iterating a set inside one exposes nothing new; only list and
+        # generator comprehensions record order sites.
+        exposes_order = isinstance(node, (ast.ListComp, ast.GeneratorExp))
+        for gen in node.generators:
+            iter_labels = self._eval(gen.iter, caught, bump)
+            if exposes_order:
+                self._record_order_site("comprehension", gen.iter, iter_labels)
+            self._assign(gen.target, self._element_labels(iter_labels), node.lineno)
+            for cond in gen.ifs:
+                self._eval(cond, caught, bump)
+        if isinstance(node, ast.DictComp):
+            out = self._eval(node.key, caught, bump) | self._eval(
+                node.value, caught, bump
+            )
+        else:
+            out = self._eval(node.elt, caught, bump)
+        if isinstance(node, ast.SetComp):
+            return self._wrap_ord(self._taint_only(out)) | {
+                ("set", "set comprehension", node.lineno)
+            }
+        return self._wrap_ord(out)
+
+    def _compare(self, node: ast.Compare, caught: Tuple[str, ...], bump: bool) -> Set[Label]:
+        operands = [node.left] + list(node.comparators)
+        label_sets = [self._eval(op, caught, bump) for op in operands]
+        for op, (left, llabels), (right, rlabels) in zip(
+            node.ops,
+            zip(operands, label_sets),
+            zip(operands[1:], label_sets[1:]),
+        ):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for side, labels in ((left, llabels), (right, rlabels)):
+                taint = self._taint_only(labels)
+                if taint:
+                    self._record_sink("==", node, taint, self._describe(side))
+                    break
+        return set()
+
+    # -- calls -------------------------------------------------------------------------
+
+    def _call(self, node: ast.Call, caught: Tuple[str, ...], bump: bool) -> Set[Label]:
+        func = node.func
+        callee = dotted(func)
+        order_safe_args = isinstance(func, ast.Name) and func.id in (
+            _ORDER_INSENSITIVE | _SCALAR_CONSUMERS | {"set", "frozenset"}
+        )
+        if order_safe_args:
+            self._order_suppress += 1
+        try:
+            arg_labels = [self._eval(a, caught, bump) for a in node.args]
+            kw_labels = {
+                kw.arg: self._eval(kw.value, caught, bump)
+                for kw in node.keywords
+                if kw.arg is not None
+            }
+            for kw in node.keywords:
+                if kw.arg is None:
+                    self._eval(kw.value, caught, bump)
+        finally:
+            if order_safe_args:
+                self._order_suppress -= 1
+
+        fname = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else ""
+        )
+
+        # Detectors that do not produce dataflow labels.
+        self._detect_clock_and_random(node, callee, fname)
+        self._detect_blocking(node, callee, fname)
+        self._detect_json(node, callee, fname, kw_labels, [kw.arg for kw in node.keywords])
+        self._detect_taint_sink(node, func, fname, node.args, node.keywords,
+                                arg_labels, kw_labels)
+
+        # Container mutation: lst.append(key) taints lst.
+        if (
+            isinstance(func, ast.Attribute)
+            and fname in _CONTAINER_MUTATORS
+            and isinstance(func.value, ast.Name)
+        ):
+            pool = self.env.setdefault(func.value.id, set())
+            for labels in arg_labels:
+                pool.update(self._taint_only(labels))
+            for labels in kw_labels.values():
+                pool.update(self._taint_only(labels))
+
+        # Key-material source?
+        source = _is_source_call(node)
+        if source is not None:
+            self._register_site(node, callee, arg_labels, kw_labels, caught, bump)
+            return {("src", f"{source}()", node.lineno)}
+
+        # set()/frozenset() constructors.
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            out: Set[Label] = {("set", f"{func.id}()", node.lineno)}
+            for labels in arg_labels:
+                out |= self._wrap_ord(self._taint_only(labels))
+            return out
+
+        # Scalar consumers: len(key) is not key material, and the
+        # result cannot leak iteration order either.
+        if isinstance(func, ast.Name) and func.id in _SCALAR_CONSUMERS:
+            return set()
+        # Order-insensitive and order-exposing builtins.  Both
+        # neutralize order-sensitivity in the result: sorted() by
+        # construction, list()/tuple()/... because the one hazardous
+        # conversion is recorded right here, once.
+        if isinstance(func, ast.Name) and func.id in _ORDER_INSENSITIVE:
+            out = set()
+            for labels in arg_labels:
+                out |= self._taint_only(labels)
+            return self._wrap_ord(out)
+        if isinstance(func, ast.Name) and func.id in _ORDER_EXPOSING:
+            out = set()
+            for labels in arg_labels:
+                self._record_order_site(
+                    f"{func.id}()", node, labels,
+                    desc=self._describe(node.args[0]) if node.args else "",
+                )
+                out |= self._taint_only(labels)
+            return self._wrap_ord(out)
+        # "sep".join(xs) exposes iteration order of xs.
+        if isinstance(func, ast.Attribute) and fname == "join" and node.args:
+            self._record_order_site(
+                "str.join()", node, arg_labels[0],
+                desc=self._describe(node.args[0]),
+            )
+
+        site_id = self._register_site(node, callee, arg_labels, kw_labels, caught, bump)
+
+        out = {("ret", site_id)} if site_id is not None else set()
+        # A method call on a tainted receiver yields tainted output
+        # (key.hex(), key.to_bytes(...)).
+        if isinstance(func, ast.Attribute):
+            out |= self._taint_only(self._eval(func.value, caught, bump))
+        # Track which class a constructor call makes (for attr typing).
+        if callee and callee.split(".")[-1][:1].isupper():
+            out.add(("ctor", callee))
+        return out
+
+    def _register_site(
+        self,
+        node: ast.Call,
+        callee: str,
+        arg_labels: List[Set[Label]],
+        kw_labels: Dict[str, Set[Label]],
+        caught: Tuple[str, ...],
+        bump: bool,
+    ) -> Optional[int]:
+        if not callee or not self.recording:
+            # During pass 1 call sites are not registered; returns labels
+            # referencing site ids must exist, so reuse ids keyed by
+            # location to stay stable across passes.
+            if not callee:
+                return None
+            key = (node.lineno, node.col_offset, callee)
+            return self._site_ids.get(key)
+        key = (node.lineno, node.col_offset, callee)
+        if key in self._site_ids:
+            return self._site_ids[key]
+        site = CallSite(
+            callee=callee,
+            line=node.lineno,
+            col=node.col_offset + 1,
+            args=[sorted(labels) for labels in arg_labels],
+            kwargs={k: sorted(v) for k, v in kw_labels.items()},
+            caught=sorted(set(caught)),
+            bump_before=bump,
+        )
+        self.fs.calls.append(site)
+        site_id = len(self.fs.calls) - 1
+        self._site_ids[key] = site_id
+        return site_id
+
+    # -- detectors ---------------------------------------------------------------------
+
+    def _detect_taint_sink(
+        self, node, func, fname, args, keywords, arg_labels, kw_labels
+    ) -> None:
+        sink = None
+        if isinstance(func, ast.Name) and func.id in ("print", "repr", "str", "format"):
+            sink = f"{func.id}()"
+        elif isinstance(func, ast.Attribute) and fname in LOG_METHODS:
+            sink = f"logging call .{fname}()"
+        if sink is None:
+            return
+        for arg, labels in list(zip(args, arg_labels)) + [
+            (kw.value, kw_labels.get(kw.arg, set()))
+            for kw in keywords
+            if kw.arg is not None
+        ]:
+            taint = self._taint_only(labels)
+            if taint:
+                self._record_sink(sink, node, taint, self._describe(arg))
+                return
+
+    def _detect_clock_and_random(self, node: ast.Call, callee: str, fname: str) -> None:
+        if not self.recording:
+            return
+        owner = self.owner
+        func = node.func
+        loc = (node.lineno, node.col_offset + 1)
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            base = func.value.id
+            if base in owner._alias_time and fname in _BANNED_TIME_ATTRS:
+                self._add_once(self.fs.wall_clock, (f"time.{fname}()",) + loc)
+                return
+            if base in owner._alias_random:
+                if fname in _GLOBAL_RANDOM_FUNCS:
+                    self._add_once(
+                        self.fs.unseeded_random, (f"random.{fname}()",) + loc
+                    )
+                elif fname == "Random" and not (node.args or node.keywords):
+                    self._add_once(self.fs.unseeded_random, ("Random()",) + loc)
+                elif fname == "SystemRandom":
+                    self._add_once(self.fs.unseeded_random, ("SystemRandom()",) + loc)
+                return
+        if isinstance(func, ast.Attribute) and fname in _BANNED_DATETIME_ATTRS and not (
+            node.args or node.keywords
+        ):
+            root = func.value
+            while isinstance(root, ast.Attribute):
+                root = root.value
+            if isinstance(root, ast.Name) and (
+                root.id in owner._alias_datetime or root.id in owner._from_datetime
+            ):
+                self._add_once(self.fs.wall_clock, (f"datetime {fname}()",) + loc)
+                return
+        if isinstance(func, ast.Name):
+            if func.id in owner._from_time and func.id in _BANNED_TIME_ATTRS:
+                self._add_once(self.fs.wall_clock, (f"time.{func.id}()",) + loc)
+            elif func.id in owner._from_random:
+                if func.id == "Random" and not (node.args or node.keywords):
+                    self._add_once(self.fs.unseeded_random, ("Random()",) + loc)
+                elif func.id == "SystemRandom":
+                    self._add_once(self.fs.unseeded_random, ("SystemRandom()",) + loc)
+                elif func.id in _GLOBAL_RANDOM_FUNCS:
+                    self._add_once(
+                        self.fs.unseeded_random, (f"{func.id}()",) + loc
+                    )
+
+    def _detect_blocking(self, node: ast.Call, callee: str, fname: str) -> None:
+        if not self.recording:
+            return
+        loc = (node.lineno, node.col_offset + 1)
+        desc = BLOCKING_CALLS.get(callee)
+        if desc is None and callee in BLOCKING_BARE:
+            desc = BLOCKING_BARE[callee]
+        if desc is None and callee.startswith("subprocess."):
+            desc = f"{callee}()"
+        if desc is not None:
+            self._add_once(self.fs.blocking, (desc,) + loc)
+
+    def _detect_json(
+        self, node: ast.Call, callee: str, fname: str, kw_labels, kw_names
+    ) -> None:
+        if not self.recording or fname not in ("dump", "dumps"):
+            return
+        func = node.func
+        is_json = (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self.owner._alias_json
+        ) or (isinstance(func, ast.Name) and func.id in self.owner._from_json)
+        if not is_json:
+            return
+        if "sort_keys" in kw_names:
+            return
+        self._add_once(
+            self.fs.unsorted_json,
+            (f"json.{fname}", node.lineno, node.col_offset + 1),
+        )
+
+    @staticmethod
+    def _add_once(pool: List[Tuple], item: Tuple) -> None:
+        if item not in pool:
+            pool.append(item)
+
+    def _record_sink(
+        self, kind: str, node: ast.AST, labels: Set[Label], desc: str
+    ) -> None:
+        if not self.recording or not labels:
+            return
+        site = SinkSite(
+            kind=kind,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            labels=sorted(self._taint_only(labels)),
+            desc=desc,
+        )
+        if not site.labels:
+            return
+        for existing in self.fs.sinks:
+            if (existing.kind, existing.line, existing.col) == (
+                site.kind, site.line, site.col
+            ):
+                return
+        self.fs.sinks.append(site)
+
+    def _record_order_site(
+        self, kind: str, node: ast.AST, labels: Set[Label], desc: str = ""
+    ) -> None:
+        if not self.recording or self._order_suppress:
+            return
+        interesting = sorted(
+            l for l in labels if l[0] in ("set", "ret", "param", "attr")
+        )
+        if not interesting:
+            return
+        site = OrderSite(
+            kind=kind,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            labels=interesting,
+            desc=desc,
+        )
+        for existing in self.fs.order_sites:
+            if (existing.kind, existing.line, existing.col) == (
+                site.kind, site.line, site.col
+            ):
+                return
+        self.fs.order_sites.append(site)
+
+    def _describe(self, node: ast.AST) -> str:
+        if isinstance(node, ast.Name):
+            return repr(node.id)
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else "?"
+            )
+            return f"{name}() result"
+        if isinstance(node, ast.Subscript):
+            return self._describe(node.value)
+        if isinstance(node, ast.Attribute):
+            return repr(dotted(node))
+        if isinstance(node, ast.BinOp):
+            return self._describe(node.left)
+        if isinstance(node, ast.FormattedValue):
+            return self._describe(node.value)
+        return "key material"
+
+
+#: Module-level functions of :mod:`random` using the global generator
+#: (mirrors the FBS003 local rule).
+_GLOBAL_RANDOM_FUNCS = {
+    "random", "randint", "randrange", "randbytes", "choice", "choices",
+    "shuffle", "sample", "uniform", "getrandbits", "gauss", "normalvariate",
+    "lognormvariate", "expovariate", "betavariate", "gammavariate",
+    "paretovariate", "weibullvariate", "vonmisesvariate", "triangular", "seed",
+}
+
+
+def _direct_defs(body: Sequence[ast.stmt]) -> Iterator[ast.stmt]:
+    """Immediate nested function defs (not descending into def/class)."""
+    for stmt in body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield stmt
+        elif isinstance(stmt, ast.ClassDef):
+            continue
+        else:
+            for attr in ("body", "orelse", "finalbody"):
+                inner = getattr(stmt, attr, None)
+                if inner:
+                    yield from _direct_defs(inner)
+            for handler in getattr(stmt, "handlers", []) or []:
+                yield from _direct_defs(handler.body)
+
+
+def summarize_module(ctx: ModuleContext) -> ModuleSummary:
+    """Distill one parsed module into its phase-1 summary."""
+    summary = _ModuleSummarizer(ctx).run()
+    summary.is_test = ctx.is_test_code
+    return summary
+
+
+# -- the project (phase-2 substrate) ---------------------------------------------------
+
+
+class Project:
+    """Whole-program view: summaries + symbol resolution + call graph."""
+
+    def __init__(self, summaries: Sequence[ModuleSummary]) -> None:
+        self.modules: Dict[str, ModuleSummary] = {}
+        for s in summaries:
+            # First module wins a contested dotted name (fixture files
+            # impersonating core modules fall back to their path key).
+            if s.key in self.modules:
+                self.modules[s.path] = ModuleSummary(
+                    path=s.path, module=None, imports=s.imports,
+                    functions=s.functions, classes=s.classes, is_test=s.is_test,
+                    depends=s.depends,
+                )
+            else:
+                self.modules[s.key] = s
+        self._resolve_memo: Dict[Tuple[str, Optional[str], str], Optional[Tuple[str, str]]] = {}
+
+    # -- iteration ---------------------------------------------------------------------
+
+    def iter_functions(self) -> Iterator[Tuple[ModuleSummary, FunctionSummary]]:
+        for key in sorted(self.modules):
+            summary = self.modules[key]
+            for qname in sorted(summary.functions):
+                yield summary, summary.functions[qname]
+
+    def function(self, module_key: str, qname: str) -> Optional[FunctionSummary]:
+        summary = self.modules.get(module_key)
+        if summary is None:
+            return None
+        return summary.functions.get(qname)
+
+    # -- name resolution ---------------------------------------------------------------
+
+    def _lookup_export(
+        self, module_key: str, name: str, depth: int = 0
+    ) -> Optional[Tuple[str, str, str]]:
+        """Resolve ``name`` inside module -> ("func"|"class"|"module", module, sym)."""
+        if depth > 6:
+            return None
+        summary = self.modules.get(module_key)
+        if summary is None:
+            return None
+        if name in summary.functions:
+            return ("func", module_key, name)
+        if name in summary.classes:
+            return ("class", module_key, name)
+        target = summary.imports.get(name)
+        if target is None:
+            # ``from repro.crypto import modes`` binds a submodule even
+            # when the package __init__ never imports it.
+            candidate = f"{module_key}.{name}"
+            if candidate in self.modules:
+                return ("module", candidate, name)
+            return None
+        if target[0] == "module":
+            return ("module", target[1], name)
+        _, src_module, src_name = target
+        if src_module == module_key:
+            return None
+        resolved = self._lookup_export(src_module, src_name, depth + 1)
+        if resolved is None and f"{src_module}.{src_name}" in self.modules:
+            return ("module", f"{src_module}.{src_name}", src_name)
+        return resolved
+
+    def _find_method(
+        self, module_key: str, class_name: str, method: str, depth: int = 0
+    ) -> Optional[Tuple[str, str]]:
+        """Find a method in a class or its statically-known bases."""
+        if depth > 6:
+            return None
+        summary = self.modules.get(module_key)
+        if summary is None:
+            return None
+        cls = summary.classes.get(class_name)
+        if cls is None:
+            return None
+        qname = f"{class_name}.{method}"
+        if qname in summary.functions:
+            return (module_key, qname)
+        for base in cls.bases:
+            resolved = self._resolve_class(module_key, base)
+            if resolved is not None:
+                found = self._find_method(resolved[0], resolved[1], method, depth + 1)
+                if found is not None:
+                    return found
+        return None
+
+    def _resolve_class(
+        self, module_key: str, dotted_name: str
+    ) -> Optional[Tuple[str, str]]:
+        """Resolve a dotted class reference -> (module_key, class_name)."""
+        parts = dotted_name.split(".")
+        if not parts or "?" in parts:
+            return None
+        export = self._lookup_export(module_key, parts[0])
+        for part in parts[1:]:
+            if export is None:
+                return None
+            kind, mod, sym = export
+            if kind == "module":
+                export = self._lookup_export(mod, part)
+            elif kind == "class":
+                return None  # Class.attr is not a class we track
+            else:
+                return None
+        if export is not None and export[0] == "class":
+            return (export[1], export[2])
+        return None
+
+    def resolve_call(
+        self,
+        summary: ModuleSummary,
+        fn: FunctionSummary,
+        site: CallSite,
+    ) -> Optional[Tuple[str, str]]:
+        """Resolve a call site to (module_key, function qname), if evident."""
+        memo_key = (summary.key, fn.class_name, site.callee)
+        if memo_key in self._resolve_memo:
+            return self._resolve_memo[memo_key]
+        result = self._resolve_uncached(summary, fn, site.callee)
+        self._resolve_memo[memo_key] = result
+        return result
+
+    def _resolve_uncached(
+        self, summary: ModuleSummary, fn: FunctionSummary, callee: str
+    ) -> Optional[Tuple[str, str]]:
+        parts = callee.split(".")
+        if not parts or "?" in parts:
+            return None
+        # self.method() / cls.method() / self.attr.method()
+        if parts[0] in ("self", "cls") and fn.class_name:
+            if len(parts) == 2:
+                return self._find_method(summary.key, fn.class_name, parts[1])
+            if len(parts) == 3:
+                cls = summary.classes.get(fn.class_name)
+                if cls is None:
+                    return None
+                attr_type = cls.attr_types.get(parts[1])
+                if attr_type is None:
+                    return None
+                resolved = self._resolve_class(summary.key, attr_type)
+                if resolved is None:
+                    return None
+                return self._find_method(resolved[0], resolved[1], parts[2])
+            return None
+        if parts[0] in ("self", "cls"):
+            return None
+        export = self._lookup_export(summary.key, parts[0])
+        idx = 1
+        while export is not None and idx < len(parts):
+            kind, mod, sym = export
+            if kind == "module":
+                export = self._lookup_export(mod, parts[idx])
+                idx += 1
+            elif kind == "class":
+                if idx == len(parts) - 1:
+                    found = self._find_method(mod, sym, parts[idx])
+                    return found
+                return None
+            else:
+                return None
+        if export is None:
+            return None
+        kind, mod, sym = export
+        if idx != len(parts):
+            return None
+        if kind == "func":
+            return (mod, sym)
+        if kind == "class":
+            # Constructor: resolve to __init__ when it exists.
+            return self._find_method(mod, sym, "__init__")
+        return None
+
+    # -- exception hierarchy -----------------------------------------------------------
+
+    def exception_ancestors(self, name: str) -> Set[str]:
+        """All (statically known) ancestors of an exception class name."""
+        out: Set[str] = set()
+        frontier = [name]
+        while frontier:
+            current = frontier.pop()
+            parent = BUILTIN_EXC_PARENTS.get(current)
+            if parent and parent not in out:
+                out.add(parent)
+                frontier.append(parent)
+            for key in sorted(self.modules):
+                cls = self.modules[key].classes.get(current)
+                if cls is not None:
+                    for base in cls.bases:
+                        base_name = base.split(".")[-1]
+                        if base_name not in out:
+                            out.add(base_name)
+                            frontier.append(base_name)
+                    break
+        out.add("BaseException")
+        return out
+
+    def exception_subclasses(self, root: str) -> Set[str]:
+        """All class names that (statically) descend from ``root``."""
+        out = {root}
+        changed = True
+        while changed:
+            changed = False
+            for key in sorted(self.modules):
+                for cname in sorted(self.modules[key].classes):
+                    if cname in out:
+                        continue
+                    cls = self.modules[key].classes[cname]
+                    if any(b.split(".")[-1] in out for b in cls.bases):
+                        out.add(cname)
+                        changed = True
+        return out

@@ -5,20 +5,29 @@ Exit-code contract (relied on by CI and ``make lint``):
 * **0** -- no findings (inline-suppressed and baselined ones excluded);
 * **1** -- at least one finding;
 * **2** -- usage or analysis error (unknown rule, unreadable path,
-  syntax error in a scanned file).
+  syntax error in a scanned file, docs out of sync).
+
+v2 additions: ``--format sarif``; ``--cache``/``--cache-file`` for the
+content-hash incremental cache; ``--changed REF`` to restrict reporting
+to files changed vs a git ref plus their reverse-dependency cone;
+``--no-unused-suppressions`` to opt out of FBS012;
+``--check-docs``/``--write-docs`` for the DESIGN.md invariants table.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.base import all_rules
 from repro.analysis.baseline import Baseline
+from repro.analysis.cache import DEFAULT_CACHE_FILE
 from repro.analysis.engine import LintError, lint_paths
+from repro.analysis.sarif import render_sarif
 
 __all__ = ["main"]
 
@@ -29,8 +38,9 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description=(
-            "fbslint: AST-based checks for the FBS security invariants "
-            "(key secrecy, determinism, header layout, error discipline)."
+            "fbslint: whole-program dataflow checks for the FBS security "
+            "invariants (key secrecy, determinism, header layout, error "
+            "discipline)."
         ),
     )
     parser.add_argument(
@@ -67,9 +77,50 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help=(
+            f"use the incremental summary cache at ./{DEFAULT_CACHE_FILE} "
+            "(unchanged files replay their phase-1 analysis from disk)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-file",
+        metavar="FILE",
+        default=None,
+        help="use the incremental summary cache at FILE (implies --cache)",
+    )
+    parser.add_argument(
+        "--changed",
+        metavar="GIT_REF",
+        default=None,
+        help=(
+            "report findings only for files changed vs GIT_REF plus their "
+            "reverse-dependency cone (the whole project is still analyzed)"
+        ),
+    )
+    parser.add_argument(
+        "--no-unused-suppressions",
+        action="store_true",
+        help="do not report unused '# fbslint: disable' comments (FBS012)",
+    )
+    parser.add_argument(
+        "--check-docs",
+        action="store_true",
+        help=(
+            "verify the DESIGN.md enforced-invariants table matches the "
+            "rule registry, then exit (0 in sync, 2 drifted)"
+        ),
+    )
+    parser.add_argument(
+        "--write-docs",
+        action="store_true",
+        help="regenerate the DESIGN.md enforced-invariants table, then exit",
     )
     parser.add_argument(
         "--list-rules",
@@ -100,6 +151,27 @@ def _split(value: Optional[str]) -> Optional[List[str]]:
     return [item.strip() for item in value.split(",") if item.strip()]
 
 
+def _changed_files(ref: str) -> List[str]:
+    """Paths (relative to the repo root) changed vs ``ref``."""
+    try:
+        proc = subprocess.run(
+            ["git", "diff", "--name-only", "--diff-filter=d", ref, "--"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+    except (OSError, subprocess.CalledProcessError) as exc:
+        detail = ""
+        if isinstance(exc, subprocess.CalledProcessError):
+            detail = f": {exc.stderr.strip()}"
+        raise LintError(f"cannot diff against {ref!r}{detail}") from exc
+    return [
+        line.strip()
+        for line in proc.stdout.splitlines()
+        if line.strip().endswith(".py")
+    ]
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = out or sys.stdout
     args = _build_parser().parse_args(argv)
@@ -107,6 +179,28 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     if args.list_rules:
         _list_rules(out)
         return 0
+
+    if args.check_docs or args.write_docs:
+        from repro.analysis.docsync import check_docs, write_docs
+
+        design = Path("DESIGN.md")
+        if args.write_docs:
+            try:
+                changed = write_docs(design)
+            except (OSError, ValueError) as exc:
+                print(f"error: {exc}", file=out)
+                return 2
+            print(
+                f"{design}: table {'regenerated' if changed else 'already in sync'}",
+                file=out,
+            )
+            return 0
+        problems = check_docs(design)
+        for problem in problems:
+            print(f"error: {problem}", file=out)
+        if not problems:
+            print(f"{design}: enforced-invariants table in sync", file=out)
+        return 2 if problems else 0
 
     baseline_path: Optional[Path] = None
     if args.baseline is not None:
@@ -125,13 +219,25 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             print(f"error: {exc}", file=out)
             return 2
 
+    cache_path: Optional[Path] = None
+    if args.cache_file is not None:
+        cache_path = Path(args.cache_file)
+    elif args.cache:
+        cache_path = Path(DEFAULT_CACHE_FILE)
+
     try:
+        changed = (
+            _changed_files(args.changed) if args.changed is not None else None
+        )
         result = lint_paths(
             [Path(p) for p in args.paths],
             root=Path.cwd(),
             select=_split(args.select),
             ignore=_split(args.ignore),
             baseline=baseline,
+            cache_path=cache_path,
+            changed=changed,
+            unused_suppressions=not args.no_unused_suppressions,
         )
     except LintError as exc:
         print(f"error: {exc}", file=out)
@@ -157,7 +263,11 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             },
             out,
             indent=2,
+            sort_keys=True,
         )
+        print(file=out)
+    elif args.format == "sarif":
+        json.dump(render_sarif(result.findings), out, indent=2, sort_keys=True)
         print(file=out)
     else:
         for finding in result.findings:
@@ -172,6 +282,11 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
                 summary += f" ({len(result.baselined)} baselined)"
             if result.suppressed:
                 summary += f" ({result.suppressed} suppressed inline)"
+            if cache_path is not None:
+                summary += (
+                    f" [cache: {result.cache_hits} replayed, "
+                    f"{result.cache_misses} analyzed]"
+                )
             print(summary, file=out)
 
     return result.exit_code

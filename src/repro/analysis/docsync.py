@@ -1,0 +1,87 @@
+"""DESIGN.md "Enforced invariants" table, generated from the registry.
+
+The table between the ``fbslint-invariants`` markers in DESIGN.md is
+owned by the rule registry: one row per registered rule with its
+severity, description (the invariant), and rationale (what it
+protects).  ``python -m repro.analysis --check-docs`` asserts the table
+matches the registry (wired like :mod:`repro.obs.doccheck`);
+``--write-docs`` regenerates it in place.  A hand-edit to the table, or
+a new rule without a regeneration, fails CI instead of silently
+drifting.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List
+
+from repro.analysis.base import all_rules
+
+__all__ = ["render_table", "check_docs", "write_docs", "DESIGN_FILE"]
+
+DESIGN_FILE = "DESIGN.md"
+
+_BEGIN = "<!-- fbslint-invariants:begin -->"
+_END = "<!-- fbslint-invariants:end -->"
+
+
+def render_table() -> str:
+    """The generated block, markers included."""
+    lines = [
+        _BEGIN,
+        "<!-- generated from the rule registry; regenerate with",
+        "     `python -m repro.analysis --write-docs`, verified in CI by",
+        "     `python -m repro.analysis --check-docs` -->",
+        "| Rule | Severity | Invariant | Protects |",
+        "|------|----------|-----------|----------|",
+    ]
+    for rule in all_rules():
+        lines.append(
+            f"| {rule.rule_id} `{rule.name}` | {rule.severity} "
+            f"| {rule.description} | {rule.rationale} |"
+        )
+    lines.append(_END)
+    return "\n".join(lines)
+
+
+def _split(text: str, path: str) -> List[str]:
+    """``[before, current-block, after]`` or a problem string."""
+    begin = text.find(_BEGIN)
+    end = text.find(_END)
+    if begin == -1 or end == -1 or end < begin:
+        raise ValueError(
+            f"{path}: fbslint-invariants markers missing or malformed "
+            f"(need {_BEGIN} ... {_END})"
+        )
+    end += len(_END)
+    return [text[:begin], text[begin:end], text[end:]]
+
+
+def check_docs(design_path: Path) -> List[str]:
+    """Problems with the invariants table (empty = in sync)."""
+    if not design_path.is_file():
+        return [f"{design_path}: missing"]
+    text = design_path.read_text(encoding="utf-8")
+    try:
+        _before, block, _after = _split(text, str(design_path))
+    except ValueError as exc:
+        return [str(exc)]
+    expected = render_table()
+    if block != expected:
+        return [
+            f"{design_path}: the enforced-invariants table is out of sync "
+            "with the rule registry; regenerate with "
+            "`python -m repro.analysis --write-docs`"
+        ]
+    return []
+
+
+def write_docs(design_path: Path) -> bool:
+    """Regenerate the table in place; returns True when the file changed."""
+    text = design_path.read_text(encoding="utf-8")
+    before, block, after = _split(text, str(design_path))
+    expected = render_table()
+    if block == expected:
+        return False
+    design_path.write_text(before + expected + after, encoding="utf-8")
+    return True

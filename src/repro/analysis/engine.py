@@ -1,4 +1,17 @@
-"""The fbslint engine: discover files, run rules, filter, report.
+"""The fbslint engine: discover files, run both phases, filter, report.
+
+Since v2 the engine is a *two-phase whole-program analyzer*:
+
+* **Phase 1** parses every module once, runs the local (per-file) rules
+  over its AST, and distills it into a
+  :class:`~repro.analysis.callgraph.ModuleSummary`.  With a cache file
+  (:mod:`repro.analysis.cache`), unchanged files replay their phase-1
+  artifacts from disk without re-parsing.
+* **Phase 2** builds a :class:`~repro.analysis.callgraph.Project` from
+  the summaries and runs the interprocedural passes
+  (:mod:`repro.analysis.dataflow`): key-material taint, exception-flow
+  accounting, impurity propagation, async-blocking, and report-order
+  determinism.
 
 The engine is a library first (``lint_source`` / ``lint_paths``) so the
 test suite can aim individual rules at fixture files; the CLI in
@@ -11,12 +24,15 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.base import Rule, all_rules
 from repro.analysis.baseline import Baseline
+from repro.analysis.cache import SummaryCache, content_hash
+from repro.analysis.callgraph import ModuleSummary, Project, summarize_module
 from repro.analysis.context import ModuleContext
-from repro.analysis.findings import Finding
+from repro.analysis.dataflow import run_project_passes
+from repro.analysis.findings import Finding, Severity
 from repro.analysis.suppressions import SuppressionIndex
 
 __all__ = ["LintError", "LintResult", "lint_source", "lint_file", "lint_paths"]
@@ -40,6 +56,9 @@ class LintResult:
     #: Count silenced by inline ``# fbslint: disable`` comments.
     suppressed: int = 0
     files_checked: int = 0
+    #: Cache accounting for the run (files replayed / re-analyzed).
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def exit_code(self) -> int:
@@ -69,38 +88,144 @@ def _select_rules(
     return rules
 
 
+def _parse(source: str, path: str) -> ast.Module:
+    try:
+        return ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise LintError(f"{path}:{exc.lineno}: syntax error: {exc.msg}") from exc
+
+
+@dataclass
+class _FileRecord:
+    """Phase-1 artifacts for one file, fresh or replayed from cache."""
+
+    report_path: str
+    summary: ModuleSummary
+    raw_findings: List[Finding]
+    suppressions: SuppressionIndex
+
+
+def _phase1(
+    source: str,
+    report_path: str,
+    logical_path: str,
+    rules: Sequence[Rule],
+) -> _FileRecord:
+    tree = _parse(source, report_path)
+    ctx = ModuleContext(
+        path=report_path, logical_path=logical_path, tree=tree, source=source
+    )
+    raw = [f for rule in rules for f in rule.check(ctx)]
+    return _FileRecord(
+        report_path=report_path,
+        summary=summarize_module(ctx),
+        raw_findings=raw,
+        suppressions=SuppressionIndex(source),
+    )
+
+
+def _unused_suppression_findings(record: _FileRecord) -> List[Finding]:
+    from repro.analysis.base import get_rule
+
+    rule = get_rule("FBS012")
+    out = []
+    for line, kind, rule_ids in record.suppressions.unused_directives():
+        out.append(
+            Finding(
+                rule_id=rule.rule_id,
+                severity=rule.severity,
+                path=record.report_path,
+                line=line,
+                column=1,
+                message=(
+                    f"unused suppression '# fbslint: {kind}="
+                    f"{','.join(rule_ids)}' matches no finding; delete it "
+                    "so the suppression set cannot rot"
+                ),
+            )
+        )
+    return out
+
+
+def _finalize(
+    records: List[_FileRecord],
+    project_findings: List[Finding],
+    baseline: Optional[Baseline],
+    unused_suppressions: bool,
+    restrict: Optional[Set[str]] = None,
+) -> LintResult:
+    """Merge local + project findings, dedupe, suppress, baseline, sort."""
+    by_path = {r.report_path: r for r in records}
+    result = LintResult(files_checked=len(records))
+
+    merged: List[Finding] = []
+    seen: Set[Tuple[str, str, int, int]] = set()
+    local = [f for r in records for f in r.raw_findings]
+    for finding in local + project_findings:
+        key = (finding.rule_id, finding.path, finding.line, finding.column)
+        if key in seen:
+            continue
+        seen.add(key)
+        merged.append(finding)
+
+    def _route(finding: Finding) -> None:
+        record = by_path.get(finding.path)
+        if record is not None and record.suppressions.suppresses(finding):
+            result.suppressed += 1
+        elif baseline is not None and baseline.absorbs(finding):
+            result.baselined.append(finding)
+        else:
+            result.findings.append(finding)
+
+    for finding in merged:
+        _route(finding)
+
+    if unused_suppressions:
+        for record in records:
+            for finding in _unused_suppression_findings(record):
+                _route(finding)
+
+    if restrict is not None:
+        result.findings = [f for f in result.findings if f.path in restrict]
+        result.baselined = [f for f in result.baselined if f.path in restrict]
+
+    result.findings.sort(key=lambda f: (-int(f.severity),) + f.sort_key)
+    result.baselined.sort(key=lambda f: f.sort_key)
+    return result
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
     logical_path: Optional[str] = None,
     rules: Optional[Sequence[Rule]] = None,
     baseline: Optional[Baseline] = None,
+    unused_suppressions: bool = True,
 ) -> LintResult:
-    """Run rules over one module's source text.
+    """Run both phases over one module's source text.
 
     ``logical_path`` overrides package scoping -- the fixture tests use
     it to make a file under ``tests/`` impersonate, say,
-    ``src/repro/core/protocol.py``.
+    ``src/repro/core/protocol.py``.  The interprocedural passes run
+    over a single-module project, so helper-chain flows *within* the
+    module are still found.  Unused-suppression findings (FBS012) are
+    emitted only when the full rule set ran (an explicit ``rules``
+    narrowing would make every directive for an unselected rule look
+    unused).
     """
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        raise LintError(f"{path}:{exc.lineno}: syntax error: {exc.msg}") from exc
-    ctx = ModuleContext(
-        path=path, logical_path=logical_path or path, tree=tree, source=source
+    narrowed = rules is not None
+    active = list(rules) if rules is not None else all_rules()
+    record = _phase1(source, path, logical_path or path, active)
+    project = Project([record.summary])
+    project_findings = run_project_passes(
+        project, {rule.rule_id for rule in active}
     )
-    suppressions = SuppressionIndex(source)
-    result = LintResult(files_checked=1)
-    for rule in rules if rules is not None else all_rules():
-        for finding in rule.check(ctx):
-            if suppressions.suppresses(finding):
-                result.suppressed += 1
-            elif baseline is not None and baseline.absorbs(finding):
-                result.baselined.append(finding)
-            else:
-                result.findings.append(finding)
-    result.findings.sort(key=lambda f: (f.path, f.line, f.rule_id))
-    return result
+    return _finalize(
+        [record],
+        project_findings,
+        baseline,
+        unused_suppressions=unused_suppressions and not narrowed,
+    )
 
 
 def lint_file(
@@ -111,6 +236,17 @@ def lint_file(
     logical_path: Optional[str] = None,
 ) -> LintResult:
     """Lint one file; paths in findings are relative to ``root``."""
+    source, report_path = _read(path, root)
+    return lint_source(
+        source,
+        path=report_path,
+        logical_path=logical_path or str(path),
+        rules=rules,
+        baseline=baseline,
+    )
+
+
+def _read(path: Path, root: Optional[Path]) -> Tuple[str, str]:
     try:
         source = path.read_text(encoding="utf-8")
     except OSError as exc:
@@ -121,13 +257,7 @@ def lint_file(
             report_path = path.resolve().relative_to(root.resolve())
         except ValueError:
             report_path = path
-    return lint_source(
-        source,
-        path=str(report_path),
-        logical_path=logical_path or str(path),
-        rules=rules,
-        baseline=baseline,
-    )
+    return source, str(report_path)
 
 
 def discover(paths: Sequence[Path]) -> List[Path]:
@@ -145,22 +275,99 @@ def discover(paths: Sequence[Path]) -> List[Path]:
     return found
 
 
+def _reverse_cone(
+    summaries: List[ModuleSummary], changed_paths: Set[str]
+) -> Set[str]:
+    """Changed files plus every file that (transitively) imports them."""
+    by_key = {s.key: s for s in summaries}
+    # Edges: importer module key -> imported module keys present in the set.
+    importers: Dict[str, Set[str]] = {}
+    for s in summaries:
+        for dep in s.depends:
+            if dep in by_key:
+                importers.setdefault(dep, set()).add(s.key)
+    cone_keys = {s.key for s in summaries if s.path in changed_paths}
+    frontier = sorted(cone_keys)
+    while frontier:
+        next_frontier = []
+        for key in frontier:
+            for importer in sorted(importers.get(key, ())):
+                if importer not in cone_keys:
+                    cone_keys.add(importer)
+                    next_frontier.append(importer)
+        frontier = next_frontier
+    return changed_paths | {by_key[k].path for k in cone_keys}
+
+
 def lint_paths(
     paths: Sequence[Path],
     root: Optional[Path] = None,
     select: Optional[Iterable[str]] = None,
     ignore: Optional[Iterable[str]] = None,
     baseline: Optional[Baseline] = None,
+    cache_path: Optional[Path] = None,
+    changed: Optional[Iterable[str]] = None,
+    unused_suppressions: bool = True,
 ) -> LintResult:
-    """Lint every python file under ``paths``."""
+    """Lint every python file under ``paths`` as one project.
+
+    ``cache_path`` enables the content-hash incremental cache.
+    ``changed`` (an iterable of report paths) restricts *reporting* to
+    those files plus their reverse-dependency cone; the whole project
+    is still summarized so interprocedural facts stay correct.
+    """
     rules = _select_rules(select, ignore)
+    narrowed = select is not None or ignore is not None
     root = root or Path.cwd()
-    total = LintResult()
+
+    cache: Optional[SummaryCache] = None
+    if cache_path is not None:
+        signature = ",".join(rule.rule_id for rule in rules)
+        cache = SummaryCache(cache_path, signature)
+
+    records: List[_FileRecord] = []
     for file_path in discover(paths):
-        total.extend(
-            lint_file(file_path, root=root, rules=rules, baseline=baseline)
-        )
-    total.findings.sort(
-        key=lambda f: (-int(f.severity), f.path, f.line, f.rule_id)
+        source, report_path = _read(file_path, root)
+        if cache is not None:
+            sha = content_hash(source)
+            hit = cache.get(report_path, sha)
+            if hit is not None:
+                summary, raw, suppressions = hit
+                records.append(
+                    _FileRecord(report_path, summary, raw, suppressions)
+                )
+                continue
+            record = _phase1(source, report_path, str(file_path), rules)
+            cache.put(
+                report_path, sha, record.summary, record.raw_findings,
+                record.suppressions,
+            )
+        else:
+            record = _phase1(source, report_path, str(file_path), rules)
+        records.append(record)
+
+    if cache is not None:
+        cache.save()
+
+    project = Project([r.summary for r in records])
+    project_findings = run_project_passes(
+        project, {rule.rule_id for rule in rules}
     )
-    return total
+
+    restrict: Optional[Set[str]] = None
+    if changed is not None:
+        restrict = _reverse_cone(
+            [r.summary for r in records], set(changed)
+        )
+
+    result = _finalize(
+        records,
+        project_findings,
+        baseline,
+        unused_suppressions=unused_suppressions and not narrowed,
+        restrict=restrict,
+    )
+    if cache is not None:
+        result.cache_hits = cache.hits
+        result.cache_misses = cache.misses
+    return result

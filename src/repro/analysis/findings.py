@@ -4,6 +4,12 @@ A finding pins a rule violation to a ``file:line`` location.  Its
 *fingerprint* deliberately excludes the line number so that checked-in
 baseline entries survive unrelated edits above the finding; it hashes
 the logical path, the rule id, and the message text instead.
+
+Interprocedural (v2) findings additionally carry ``flow``: the
+source-to-sink witness path computed by
+:mod:`repro.analysis.dataflow`.  The flow is embedded in the message
+(so fingerprints and baseline entries are flow-path aware) and exported
+structurally in ``--format json``/``--format sarif``.
 """
 
 from __future__ import annotations
@@ -11,6 +17,7 @@ from __future__ import annotations
 import enum
 import hashlib
 from dataclasses import dataclass, field
+from typing import Tuple
 
 __all__ = ["Severity", "Finding"]
 
@@ -43,12 +50,26 @@ class Finding:
     message: str
     #: Set by the engine when a baseline entry absorbed this finding.
     baselined: bool = field(default=False, compare=False)
+    #: Interprocedural witness path (source -> ... -> sink), when the
+    #: finding came from a whole-program dataflow pass.
+    flow: Tuple[str, ...] = field(default=(), compare=False)
 
     @property
     def fingerprint(self) -> str:
         """Stable identity for baseline matching (line-number free)."""
         raw = f"{self.path}|{self.rule_id}|{self.message}".encode("utf-8")
         return hashlib.sha1(raw).hexdigest()[:12]
+
+    @property
+    def sort_key(self) -> Tuple[str, int, int, str, str]:
+        """Total order over findings.
+
+        Path, line, column, rule id, then message -- so output order is
+        deterministic even for multiple findings on one line (the
+        pre-v2 sort stopped at ``(path, line, rule_id)`` and left
+        same-line ties to list order).
+        """
+        return (self.path, self.line, self.column, self.rule_id, self.message)
 
     def render(self) -> str:
         """The canonical one-line report format."""
@@ -59,8 +80,8 @@ class Finding:
         )
 
     def as_dict(self) -> dict:
-        """JSON-friendly representation (``--format json``)."""
-        return {
+        """JSON-friendly representation (``--format json``, cache)."""
+        payload = {
             "rule": self.rule_id,
             "severity": str(self.severity),
             "path": self.path,
@@ -70,3 +91,20 @@ class Finding:
             "fingerprint": self.fingerprint,
             "baselined": self.baselined,
         }
+        if self.flow:
+            payload["flow"] = list(self.flow)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Finding":
+        """Inverse of :meth:`as_dict` (used by the summary cache)."""
+        return cls(
+            rule_id=payload["rule"],
+            severity=Severity[payload["severity"].upper()],
+            path=payload["path"],
+            line=payload["line"],
+            column=payload["column"],
+            message=payload["message"],
+            baselined=payload.get("baselined", False),
+            flow=tuple(payload.get("flow", ())),
+        )

@@ -13,14 +13,30 @@ discipline:
 * :mod:`~repro.analysis.rules.metrics_discipline` -- FBS006
   metrics-before-raise;
 * :mod:`~repro.analysis.rules.containment` -- FBS009 multiprocessing
-  stays inside ``repro.load``.
+  stays inside ``repro.load``;
+* :mod:`~repro.analysis.rules.async_readiness` -- FBS010 no blocking
+  calls in ``async def``;
+* :mod:`~repro.analysis.rules.reports` -- FBS011 deterministic report
+  serialization;
+* :mod:`~repro.analysis.rules.suppressions_hygiene` -- FBS012 unused
+  suppression comments.
+
+FBS010-FBS012 are *project rules*: their ``check`` methods are empty
+and their findings come from the whole-program passes in
+:mod:`repro.analysis.dataflow` (or, for FBS012, from the engine's
+suppression-filtering step).  FBS001/FBS002/FBS003/FBS006/FBS007 run
+both ways -- the local checks here plus interprocedural versions in the
+dataflow passes.
 """
 
 from repro.analysis.rules import (  # noqa: F401  (imports register rules)
+    async_readiness,
     containment,
     determinism,
     layout,
     metrics_discipline,
+    reports,
     robustness,
+    suppressions_hygiene,
     taint,
 )

@@ -1,0 +1,83 @@
+"""SARIF 2.1.0 rendering (``--format sarif``).
+
+SARIF (Static Analysis Results Interchange Format) is what code-review
+UIs and CI annotation tooling ingest.  One run, one tool (``fbslint``),
+the full rule registry as ``tool.driver.rules``, and one result per
+finding.  Interprocedural witness paths ride along in each result's
+``properties.flow`` (the textual steps also appear in the message, so a
+SARIF viewer without flow support loses nothing).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.base import all_rules
+from repro.analysis.findings import Finding, Severity
+
+__all__ = ["render_sarif"]
+
+_SARIF_VERSION = "2.1.0"
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _level(severity: Severity) -> str:
+    return "error" if severity == Severity.ERROR else "warning"
+
+
+def render_sarif(findings: List[Finding]) -> dict:
+    """The SARIF log object for one lint run (JSON-serializable)."""
+    rules = [
+        {
+            "id": rule.rule_id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.description},
+            "fullDescription": {"text": rule.rationale},
+            "defaultConfiguration": {"level": _level(rule.severity)},
+        }
+        for rule in all_rules()
+    ]
+    rule_index = {rule["id"]: i for i, rule in enumerate(rules)}
+    results = []
+    for finding in findings:
+        result = {
+            "ruleId": finding.rule_id,
+            "ruleIndex": rule_index.get(finding.rule_id, -1),
+            "level": _level(finding.severity),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.column,
+                        },
+                    }
+                }
+            ],
+            "partialFingerprints": {"fbslintFingerprint": finding.fingerprint},
+        }
+        if finding.flow:
+            result["properties"] = {"flow": list(finding.flow)}
+        results.append(result)
+    return {
+        "$schema": _SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "fbslint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

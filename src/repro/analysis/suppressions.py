@@ -11,6 +11,12 @@ Three forms, mirroring the linters this codebase's contributors know:
 ``disable=all`` suppresses every rule at that granularity.  Suppressions
 are parsed from the token stream, so a violating *string* containing the
 magic text does not suppress anything.
+
+Since v2 the index also remembers each *directive* (the comment itself)
+and which directives actually absorbed a finding, so the engine can
+report suppressions that suppress nothing (FBS012) before the
+suppression set rots.  The index is JSON-serializable for the summary
+cache.
 """
 
 from __future__ import annotations
@@ -18,7 +24,7 @@ from __future__ import annotations
 import io
 import re
 import tokenize
-from typing import Dict, Set
+from typing import Dict, List, Set, Tuple
 
 from repro.analysis.findings import Finding
 
@@ -36,6 +42,10 @@ class SuppressionIndex:
         #: line number -> rule ids suppressed on that line ("all" wildcard).
         self.by_line: Dict[int, Set[str]] = {}
         self.file_wide: Set[str] = set()
+        #: Every directive as written: (comment line, kind, sorted rules).
+        self.directives: List[Tuple[int, str, Tuple[str, ...]]] = []
+        #: Indices into ``directives`` that absorbed at least one finding.
+        self.used: Set[int] = set()
         try:
             tokens = tokenize.generate_tokens(io.StringIO(source).readline)
             comments = [
@@ -55,6 +65,9 @@ class SuppressionIndex:
                 for r in match.group(2).split(",")
                 if r.strip()
             }
+            if not rules:
+                continue
+            self.directives.append((line, kind, tuple(sorted(rules))))
             if kind == "disable-file":
                 self.file_wide |= rules
             elif kind == "disable-next-line":
@@ -62,8 +75,49 @@ class SuppressionIndex:
             else:
                 self.by_line.setdefault(line, set()).update(rules)
 
+    def _matching_directives(self, finding: Finding) -> List[int]:
+        hits = []
+        for idx, (line, kind, rules) in enumerate(self.directives):
+            target = line + 1 if kind == "disable-next-line" else line
+            if kind != "disable-file" and target != finding.line:
+                continue
+            if "all" in rules or finding.rule_id in rules:
+                hits.append(idx)
+        return hits
+
     def suppresses(self, finding: Finding) -> bool:
-        for pool in (self.file_wide, self.by_line.get(finding.line, ())):
-            if "all" in pool or finding.rule_id in pool:
-                return True
+        """Does a directive silence this finding?  Marks the directive used."""
+        hits = self._matching_directives(finding)
+        if hits:
+            self.used.update(hits)
+            return True
         return False
+
+    def unused_directives(self) -> List[Tuple[int, str, Tuple[str, ...]]]:
+        """Directives that absorbed nothing in this run (FBS012 fodder)."""
+        return [
+            d for idx, d in enumerate(self.directives) if idx not in self.used
+        ]
+
+    # -- cache serialization -----------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        return {
+            "directives": [
+                [line, kind, list(rules)] for line, kind, rules in self.directives
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SuppressionIndex":
+        index = cls("")
+        for line, kind, rules in payload["directives"]:
+            rules = tuple(rules)
+            index.directives.append((line, kind, rules))
+            if kind == "disable-file":
+                index.file_wide |= set(rules)
+            elif kind == "disable-next-line":
+                index.by_line.setdefault(line + 1, set()).update(rules)
+            else:
+                index.by_line.setdefault(line, set()).update(rules)
+        return index

@@ -1,0 +1,26 @@
+"""Async datapath pump that blocks the event loop (violates FBS010).
+
+Linted as if it lived at ``src/repro/core/aio.py``.
+"""
+# fbslint: module=repro.core.aio
+
+import asyncio
+import time
+
+
+def _drain_sync():
+    # Fine here: blocking in a sync helper is only a problem when an
+    # async function reaches it.
+    time.sleep(0.01)
+
+
+async def pump(queue):
+    time.sleep(0.5)  # direct blocking call in async code
+    _drain_sync()  # blocking hidden one call away
+    await asyncio.sleep(0)
+    return queue
+
+
+async def snapshot(path):
+    with open(path) as fh:  # sync file I/O blocks the loop
+        return fh.read()

@@ -1,0 +1,18 @@
+"""Async datapath pump that always yields to the loop (complies with FBS010)."""
+# fbslint: module=repro.core.aio
+
+import asyncio
+import time
+
+
+def load_config(path):
+    # Blocking primitives are fine outside async functions, as long as
+    # no async function calls this helper.
+    time.sleep(0.0)
+    with open(path) as fh:
+        return fh.read()
+
+
+async def pump(queue):
+    await asyncio.sleep(0)
+    return queue

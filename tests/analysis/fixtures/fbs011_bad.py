@@ -1,0 +1,20 @@
+"""Report built from unordered collections (violates FBS011).
+
+Linted as if it lived at ``src/repro/obs/report.py``.
+"""
+# fbslint: module=repro.obs.report
+
+import json
+
+
+def _flagged(metrics):
+    # Building the set is fine; exposing its iteration order is not.
+    return {name for name, value in metrics if value}
+
+
+def render(metrics, out):
+    flagged = _flagged(metrics)
+    lines = [name for name in flagged]  # comprehension over a set
+    for name in flagged:  # for loop over a set
+        lines.append(name)
+    json.dump({"flagged": lines}, out)  # no sort_keys

@@ -1,0 +1,14 @@
+"""Report with deterministic ordering everywhere (complies with FBS011)."""
+# fbslint: module=repro.obs.report
+
+import json
+
+
+def _flagged(metrics):
+    return {name for name, value in metrics if value}
+
+
+def render(metrics, out):
+    flagged = _flagged(metrics)
+    lines = [name for name in sorted(flagged)]
+    json.dump({"flagged": lines}, out, sort_keys=True)

@@ -1,0 +1,94 @@
+"""Incremental summary cache: correctness of replay and invalidation."""
+
+from pathlib import Path
+
+from repro.analysis import lint_paths
+from repro.analysis.cache import SummaryCache, content_hash
+
+DIRTY = "def guard(t):\n    assert t\n    return t\n"
+CLEAN = "def guard(t):\n    if not t:\n        raise ValueError('no')\n    return t\n"
+
+
+def write_tree(tmp_path, sources):
+    for rel, source in sources.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source, encoding="utf-8")
+
+
+def test_warm_run_replays_and_matches_cold(tmp_path):
+    write_tree(tmp_path, {
+        "src/repro/core/a.py": DIRTY,
+        "src/repro/core/b.py": CLEAN,
+    })
+    cache_file = tmp_path / "cache.json"
+    cold = lint_paths(
+        [tmp_path / "src"], root=tmp_path, cache_path=cache_file
+    )
+    assert cold.cache_misses == 2 and cold.cache_hits == 0
+    assert cache_file.exists()
+
+    warm = lint_paths(
+        [tmp_path / "src"], root=tmp_path, cache_path=cache_file
+    )
+    assert warm.cache_hits == 2 and warm.cache_misses == 0
+    assert [f.as_dict() for f in warm.findings] == [
+        f.as_dict() for f in cold.findings
+    ]
+    assert warm.suppressed == cold.suppressed
+    assert warm.files_checked == cold.files_checked
+
+
+def test_changed_file_invalidates_only_itself(tmp_path):
+    write_tree(tmp_path, {
+        "src/repro/core/a.py": DIRTY,
+        "src/repro/core/b.py": CLEAN,
+    })
+    cache_file = tmp_path / "cache.json"
+    lint_paths([tmp_path / "src"], root=tmp_path, cache_path=cache_file)
+
+    (tmp_path / "src/repro/core/a.py").write_text(CLEAN, encoding="utf-8")
+    warm = lint_paths(
+        [tmp_path / "src"], root=tmp_path, cache_path=cache_file
+    )
+    assert warm.cache_hits == 1 and warm.cache_misses == 1
+    assert warm.findings == [], [f.render() for f in warm.findings]
+
+
+def test_cache_keyed_by_rule_set(tmp_path):
+    write_tree(tmp_path, {"src/repro/core/a.py": DIRTY})
+    cache_file = tmp_path / "cache.json"
+    lint_paths([tmp_path / "src"], root=tmp_path, cache_path=cache_file)
+    # A different rule selection must not replay stale artifacts.
+    narrowed = lint_paths(
+        [tmp_path / "src"], root=tmp_path, cache_path=cache_file,
+        select=["FBS004"],
+    )
+    assert narrowed.cache_hits == 0 and narrowed.cache_misses == 1
+    assert [f.rule_id for f in narrowed.findings] == ["FBS004"]
+
+
+def test_suppressions_survive_replay(tmp_path):
+    source = "def guard(t):\n    assert t  # fbslint: disable=FBS004\n"
+    write_tree(tmp_path, {"src/repro/core/a.py": source})
+    cache_file = tmp_path / "cache.json"
+    cold = lint_paths([tmp_path / "src"], root=tmp_path, cache_path=cache_file)
+    warm = lint_paths([tmp_path / "src"], root=tmp_path, cache_path=cache_file)
+    assert cold.suppressed == warm.suppressed == 1
+    assert cold.findings == warm.findings == []
+
+
+def test_content_hash_is_stable():
+    assert content_hash("abc") == content_hash("abc")
+    assert content_hash("abc") != content_hash("abd")
+
+
+def test_corrupt_cache_file_is_ignored(tmp_path):
+    write_tree(tmp_path, {"src/repro/core/a.py": DIRTY})
+    cache_file = tmp_path / "cache.json"
+    cache_file.write_text("{not json", encoding="utf-8")
+    result = lint_paths(
+        [tmp_path / "src"], root=tmp_path, cache_path=cache_file
+    )
+    assert result.cache_misses == 1
+    assert [f.rule_id for f in result.findings] == ["FBS004"]

@@ -47,7 +47,9 @@ class TestSuppressions:
     def test_wrong_rule_id_does_not_suppress(self):
         source = "def issue(t):\n    assert t  # fbslint: disable=FBS001\n"
         result = lint_source(source, logical_path="src/repro/core/x.py")
-        assert [f.rule_id for f in result.findings] == ["FBS004"]
+        # The assert still fires, and the ineffective suppression is
+        # itself reported (FBS012).
+        assert [f.rule_id for f in result.findings] == ["FBS004", "FBS012"]
 
     def test_directive_inside_string_is_inert(self):
         source = (
