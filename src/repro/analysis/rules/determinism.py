@@ -65,6 +65,36 @@ _GLOBAL_RANDOM_FUNCS = {
     "seed",
 }
 
+#: ``numpy.random`` module-level sampling functions: they draw from the
+#: process-global (implicitly seeded) legacy ``RandomState``, exactly
+#: the nondeterminism FBS003 bans for the stdlib generator.
+_NUMPY_GLOBAL_FUNCS = {
+    "beta",
+    "binomial",
+    "bytes",
+    "choice",
+    "exponential",
+    "gamma",
+    "normal",
+    "permutation",
+    "poisson",
+    "rand",
+    "randint",
+    "randn",
+    "random",
+    "random_sample",
+    "ranf",
+    "sample",
+    "seed",
+    "shuffle",
+    "standard_normal",
+    "uniform",
+}
+
+#: ``numpy.random`` constructors that are nondeterministic when called
+#: without a seed argument.
+_NUMPY_CONSTRUCTORS = {"default_rng", "RandomState"}
+
 
 def _import_aliases(tree: ast.Module) -> Dict[str, Set[str]]:
     """Map module name -> local aliases, plus from-imported names.
@@ -153,8 +183,9 @@ class UnseededRandomRule(Rule):
     name = "seeded-randomness"
     severity = Severity.WARNING
     description = (
-        "no global random.* calls and no unseeded Random()/SystemRandom in "
-        "src/repro -- construct Random(seed) explicitly"
+        "no global random.* / numpy.random.* calls and no unseeded "
+        "Random()/SystemRandom/default_rng() in src/repro -- construct "
+        "seeded generators explicitly"
     )
     rationale = "repro.crypto.random: every generator is explicitly seeded"
 
@@ -164,11 +195,24 @@ class UnseededRandomRule(Rule):
         aliases = _import_aliases(ctx.tree)
         random_aliases = aliases.get("random", set())
         from_random = aliases.get("from:random", set())
+        numpy_aliases = aliases.get("numpy", set())
+        from_numpy = aliases.get("from:numpy", set())
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
             func = node.func
-            if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            if isinstance(func, ast.Attribute) and isinstance(
+                func.value, ast.Attribute
+            ):
+                # np.random.<fn>(): the chained module attribute form.
+                base = func.value
+                if (
+                    base.attr == "random"
+                    and isinstance(base.value, ast.Name)
+                    and base.value.id in numpy_aliases
+                ):
+                    yield from self._check_numpy(ctx, node, func.attr)
+            elif isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
                 if func.value.id not in random_aliases:
                     continue
                 if func.attr in _GLOBAL_RANDOM_FUNCS:
@@ -193,6 +237,10 @@ class UnseededRandomRule(Rule):
                         "SystemRandom draws OS entropy and cannot be seeded; "
                         "simulation code must stay reproducible",
                     )
+            elif isinstance(func, ast.Name) and func.id in from_numpy:
+                # from numpy.random import default_rng / RandomState.
+                if func.id in _NUMPY_CONSTRUCTORS:
+                    yield from self._check_numpy(ctx, node, func.id)
             elif isinstance(func, ast.Name) and func.id in from_random:
                 if func.id == "Random" and not (node.args or node.keywords):
                     yield self.finding(
@@ -216,3 +264,21 @@ class UnseededRandomRule(Rule):
                         "process-global generator; construct "
                         "random.Random(seed) instead",
                     )
+
+    def _check_numpy(
+        self, ctx: ModuleContext, node: ast.Call, attr: str
+    ) -> Iterator[Finding]:
+        if attr in _NUMPY_GLOBAL_FUNCS:
+            yield self.finding(
+                ctx,
+                node,
+                f"numpy.random.{attr}() draws from the process-global legacy "
+                "generator; construct numpy.random.default_rng(seed) instead",
+            )
+        elif attr in _NUMPY_CONSTRUCTORS and not (node.args or node.keywords):
+            yield self.finding(
+                ctx,
+                node,
+                f"numpy.random.{attr}() without a seed is nondeterministic; "
+                "pass an explicit seed",
+            )

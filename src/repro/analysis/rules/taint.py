@@ -37,6 +37,30 @@ _SOURCE_NAMES = {"agree"}
 
 _LOG_METHODS = {"debug", "info", "warning", "error", "exception", "critical", "log"}
 
+#: Array constructors/combinators that return (a view of) their array
+#: arguments: key bytes fed to these stay key material
+#: (``repro.crypto.vector`` moves MAC keys through ndarrays).
+_NDARRAY_FUNCS = {
+    "array",
+    "asarray",
+    "ascontiguousarray",
+    "concatenate",
+    "frombuffer",
+    "stack",
+}
+#: ndarray methods that re-expose the receiver's bytes under a new
+#: shape/dtype/container -- taint follows the receiver through them.
+_NDARRAY_METHODS = {
+    "astype",
+    "copy",
+    "flatten",
+    "ravel",
+    "reshape",
+    "tobytes",
+    "transpose",
+    "view",
+}
+
 
 def _is_source_call(node: ast.AST) -> bool:
     if not isinstance(node, ast.Call):
@@ -82,6 +106,17 @@ class _Taint:
             return any(self.expr(elt) for elt in node.elts)
         if isinstance(node, ast.Starred):
             return self.expr(node.value)
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            func = node.func
+            # np.frombuffer(key) and friends: the array is the key.
+            if func.attr in _NDARRAY_FUNCS and any(
+                self.expr(arg) for arg in node.args
+            ):
+                return True
+            # tainted.astype(...).tobytes() etc.: taint follows the
+            # receiver through reshaping/re-encoding methods.
+            if func.attr in _NDARRAY_METHODS and self.expr(func.value):
+                return True
         return False
 
     def describe(self, node: ast.AST) -> str:
@@ -105,8 +140,9 @@ class SecretFlowRule(Rule):
     name = "secret-flow-taint"
     severity = Severity.ERROR
     description = (
-        "key-derivation results must not reach print/repr/logging/f-strings, "
-        "and must be compared via constant_time_equal, never ==/!="
+        "key-derivation results must not reach print/repr/logging/f-strings "
+        "(taint follows ndarray views/copies), and must be compared via "
+        "constant_time_equal, never ==/!="
     )
     rationale = "paper SS5.2/SS6.1 (key secrecy); DESIGN.md 'Enforced invariants'"
 

@@ -152,6 +152,14 @@ class FBSConfig:
     #: Capacity of the optional soft-state replay guard (0 = off, the
     #: paper's behaviour).  See :mod:`repro.core.replay_guard`.
     replay_guard_size: int = 0
+    #: Use the numpy lane kernels (:mod:`repro.crypto.vector`) for
+    #: ``protect_batch`` / ``unprotect_batch``.  Purely a speed switch:
+    #: wire bytes, counters, and rejection reasons are bit-identical to
+    #: the scalar loop (differential tests pin this).  The endpoint
+    #: silently falls back to the scalar path when numpy is missing,
+    #: the batch has fewer than two datagrams, or the suite is not the
+    #: vectorized pair (keyed MD5 + DES-CBC).
+    vectorize: bool = True
 
     def __post_init__(self) -> None:
         if self.threshold <= 0:

@@ -24,11 +24,12 @@ the discrepancy here and in DESIGN.md.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.caches import FlowKeyCache
-from repro.core.config import FBSConfig
+from repro.core.config import FBSConfig, MacAlgorithm
 from repro.core.errors import (
     FBSError,
     HeaderFormatError,
@@ -43,6 +44,7 @@ from repro.core.metrics import FBSMetrics
 from repro.core.mkd import MasterKeyDaemon
 from repro.core.timestamps import FreshnessWindow, TimestampCodec
 from repro.crypto import modes
+from repro.crypto import vector as _vector
 from repro.crypto.mac import constant_time_equal
 from repro.crypto.random import LinearCongruential
 from repro.obs.events import (
@@ -58,6 +60,11 @@ from repro.obs.sinks import Sink
 from repro.obs.tracer import NULL_TRACER, Tracer
 
 __all__ = ["FBSEndpoint", "FBSError", "ReceiveError", "BatchReceiveResult"]
+
+#: Batch-path equivalents of :meth:`FBSHeader.mac_input` / ``iv()``:
+#: the vector datapath assembles these fields before headers exist.
+_CONF_TS = struct.Struct(">II")
+_U32 = struct.Struct(">I")
 
 
 @dataclass
@@ -194,6 +201,15 @@ class FBSEndpoint:
         # constant: compute it once instead of once per datagram.
         self._header_len = header_length(
             self.config.suite, self.config.carry_algorithm_id
+        )
+        # Batch lane kernels apply only to the suite they implement
+        # (keyed MD5 + DES-CBC, the paper's IP mapping); anything else
+        # takes the scalar loop, as does a numpy-less interpreter.
+        self._vector_ok = (
+            self.config.vectorize
+            and _vector.HAVE_NUMPY
+            and self.config.suite.mac is MacAlgorithm.KEYED_MD5
+            and self.config.suite.cipher_mode is modes.CipherMode.CBC
         )
         if self.config.replay_guard_size > 0:
             from repro.core.replay_guard import ReplayGuard
@@ -426,6 +442,13 @@ class FBSEndpoint:
             raise FBSError("attributes must be parallel to bodies")
         if stamps is not None and len(stamps) != n:
             raise FBSError("stamps must be parallel to bodies")
+        if n == 0:
+            # An empty batch is a no-op: no counters, no events.
+            return []
+        if n >= 2 and self._vector_ok:
+            return self._protect_batch_vector(
+                bodies, destination, attributes, secret, stamps
+            )
         # Hoisted hot-path state: one load per batch, not per datagram.
         fam_classify = self.fam.classify
         send_state = self._send_flow_state
@@ -479,6 +502,101 @@ class FBSEndpoint:
             self._c_flows.inc(flows)
         if encryptions:
             self._c_encryptions.inc(encryptions)
+        return out
+
+    def _protect_batch_vector(
+        self,
+        bodies: Sequence[bytes],
+        destination: Principal,
+        attributes: Optional[Sequence[DatagramAttributes]],
+        secret: bool,
+        stamps: Optional[Sequence[float]],
+    ) -> List[bytes]:
+        """The numpy lane datapath behind :meth:`protect_batch`.
+
+        Classification and keying stay scalar (they walk shared mutable
+        soft state in datagram order -- same events, same cache
+        traffic); the crypto splits into three lane-parallel passes:
+        one keyed-MD5 sweep over every MAC input, one CBC sweep over
+        every body, one header-stamping pass.  Output bytes, counters,
+        and events match the scalar loop exactly.
+        """
+        n = len(bodies)
+        fam_classify = self.fam.classify
+        send_state = self._send_flow_state
+        next_u32 = self._confounder_rng.next_u32
+        encode_ts = self.codec.encode
+        suite = self.config.suite
+        mac_bytes = suite.mac_bytes
+        carry = self.config.carry_algorithm_id
+        now_fn = self.now
+        dest_wire = destination.wire_id
+        tr = self.tracer
+        emit = tr.emit if tr.enabled else None
+        pack_conf_ts = _CONF_TS.pack
+        flows = 0
+        sfls: List[int] = []
+        confounders: List[int] = []
+        timestamps: List[int] = []
+        mac_keys: List[bytes] = []
+        mac_inputs: List[bytes] = []
+        states: List[FlowCryptoState] = []
+        for i in range(n):
+            body = bodies[i]
+            now = stamps[i] if stamps is not None else now_fn()
+            if attributes is not None:
+                attrs = attributes[i]
+            else:
+                attrs = DatagramAttributes(
+                    destination_id=dest_wire, size=len(body)
+                )
+            entry = fam_classify(attrs, now)
+            if entry.datagrams == 1:
+                flows += 1
+            sfl = entry.sfl
+            state = send_state(sfl, destination)
+            confounder = next_u32()
+            timestamp = encode_ts(now)
+            sfls.append(sfl)
+            confounders.append(confounder)
+            timestamps.append(timestamp)
+            mac_keys.append(state.mac_key)
+            mac_inputs.append(pack_conf_ts(confounder, timestamp) + body)
+            states.append(state)
+            if emit is not None:
+                # PKCS#7 always pads, so the wire body size under
+                # encryption is the next multiple of 8 *above* len(body).
+                size = ((len(body) | 7) + 1) if secret else len(body)
+                emit(DatagramProtected(sfl=sfl, size=size, secret=secret))
+        macs = _vector.keyed_md5_many(mac_keys, mac_inputs)
+        if mac_bytes != 16:
+            macs = [mac[:mac_bytes] for mac in macs]
+        if secret:
+            pack_u32 = _U32.pack
+            ivs = []
+            for confounder in confounders:
+                four = pack_u32(confounder)
+                ivs.append(four + four)
+            out_bodies = _vector.cbc_encrypt_many(
+                [state.cipher for state in states], ivs, bodies
+            )
+        else:
+            out_bodies = list(bodies)
+        heads = _vector.encode_headers_many(
+            sfls,
+            confounders,
+            macs,
+            timestamps,
+            mac_bytes,
+            suite_id=suite.suite_id if carry else None,
+        )
+        out = [heads[i] + out_bodies[i] for i in range(n)]
+        self._c_sent.inc(n)
+        self._c_bytes_out.inc(sum(len(body) for body in out_bodies))
+        if flows:
+            self._c_flows.inc(flows)
+        if secret:
+            self._c_encryptions.inc(n)
         return out
 
     # -- FBSReceive (Figure 4, right) ----------------------------------------------
@@ -575,6 +693,11 @@ class FBSEndpoint:
         n = len(datagrams)
         if stamps is not None and len(stamps) != n:
             raise FBSError("stamps must be parallel to datagrams")
+        if n == 0:
+            # An empty batch is a no-op: no counters, no events.
+            return BatchReceiveResult()
+        if n >= 2 and self._vector_ok:
+            return self._unprotect_batch_vector(datagrams, source, secret, stamps)
         # Hoisted hot-path state: one load per batch, not per datagram.
         suite = self.config.suite
         carry = self.config.carry_algorithm_id
@@ -638,6 +761,127 @@ class FBSEndpoint:
             if guard is not None:
                 try:
                     guard.check_and_remember(header, now)
+                except ReceiveError:
+                    rejected("duplicate", header.sfl)
+                    bodies.append(None)
+                    reasons.append("duplicate")
+                    continue
+            accepted += 1
+            bytes_in += len(body)
+            if emit is not None:
+                emit(DatagramAccepted(sfl=header.sfl, size=len(body)))
+            bodies.append(body)
+            reasons.append(None)
+        self._c_accepted.inc(accepted)
+        self._c_bytes_in.inc(bytes_in)
+        if decryptions:
+            self._c_decryptions.inc(decryptions)
+        return result
+
+    def _unprotect_batch_vector(
+        self,
+        datagrams: Sequence[bytes],
+        source: Principal,
+        secret: bool,
+        stamps: Optional[Sequence[float]],
+    ) -> BatchReceiveResult:
+        """The numpy lane datapath behind :meth:`unprotect_batch`.
+
+        Phase 1 walks the datagrams in order doing everything stateful
+        and cheap (header decode, freshness, keying) and rejects
+        inline.  Surviving lanes then take one flattened CBC decrypt
+        and one keyed-MD5 sweep.  The final pass runs in datagram order
+        again for MAC/duplicate rejection bookkeeping, the replay
+        guard, and delivery -- so counter totals, per-index reasons,
+        and replay-guard memory order all match the scalar loop.
+        """
+        n = len(datagrams)
+        suite = self.config.suite
+        carry = self.config.carry_algorithm_id
+        mac_bytes = suite.mac_bytes
+        decode = FBSHeader.decode
+        header_len = self._header_len
+        is_fresh = self.freshness.is_fresh
+        recv_state = self._receive_flow_state
+        guard = self.replay_guard
+        rejected = self._rejected
+        now_fn = self.now
+        tr = self.tracer
+        emit = tr.emit if tr.enabled else None
+        self._c_received.inc(n)
+        headers: List[Optional[FBSHeader]] = [None] * n
+        states: List[Optional[FlowCryptoState]] = [None] * n
+        lane_bodies: List[Optional[bytes]] = [None] * n
+        nows: List[float] = [0.0] * n
+        fails: List[Optional[str]] = [None] * n
+        for i in range(n):
+            data = datagrams[i]
+            now = stamps[i] if stamps is not None else now_fn()
+            nows[i] = now
+            try:
+                header = decode(data, suite, carry)
+            except HeaderFormatError:
+                rejected("header")
+                fails[i] = "header"
+                continue
+            if not is_fresh(header.timestamp, now):
+                rejected("stale_timestamp", header.sfl)
+                fails[i] = "stale_timestamp"
+                continue
+            try:
+                states[i] = recv_state(header.sfl, source)
+            except FBSError:
+                rejected("keying", header.sfl)
+                fails[i] = "keying"
+                continue
+            headers[i] = header
+            lane_bodies[i] = data[header_len:]
+        alive = [i for i in range(n) if fails[i] is None]
+        decryptions = 0
+        if secret and alive:
+            plains = _vector.cbc_decrypt_many(
+                [states[i].cipher for i in alive],
+                [headers[i].iv() for i in alive],
+                [lane_bodies[i] for i in alive],
+            )
+            survivors = []
+            for position, i in enumerate(alive):
+                plain = plains[position]
+                if plain is None:
+                    # Not a whole number of blocks, or garbled padding:
+                    # the scalar path's decrypt ValueError.
+                    rejected("mac", headers[i].sfl)
+                    fails[i] = "mac"
+                else:
+                    lane_bodies[i] = plain
+                    decryptions += 1
+                    survivors.append(i)
+            alive = survivors
+        if alive:
+            macs = _vector.keyed_md5_many(
+                [states[i].mac_key for i in alive],
+                [headers[i].mac_input(lane_bodies[i]) for i in alive],
+            )
+            for position, i in enumerate(alive):
+                expected = macs[position][:mac_bytes]
+                if not constant_time_equal(expected, headers[i].mac):
+                    rejected("mac", headers[i].sfl)
+                    fails[i] = "mac"
+        result = BatchReceiveResult()
+        bodies = result.bodies
+        reasons = result.reasons
+        accepted = 0
+        bytes_in = 0
+        for i in range(n):
+            if fails[i] is not None:
+                bodies.append(None)
+                reasons.append(fails[i])
+                continue
+            header = headers[i]
+            body = lane_bodies[i]
+            if guard is not None:
+                try:
+                    guard.check_and_remember(header, nows[i])
                 except ReceiveError:
                     rejected("duplicate", header.sfl)
                     bodies.append(None)

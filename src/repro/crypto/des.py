@@ -172,31 +172,111 @@ def _apply_luts(value: int, width: int, luts: Tuple[Tuple[int, ...], ...]) -> in
     return out
 
 
+def _round_key_luts() -> Tuple[Tuple[Tuple[int, ...], ...], ...]:
+    """Per-round window tables with the rotation *and* PC2 folded in.
+
+    The schedule's per-round work is ``rotate(C, t); rotate(D, t);
+    PC2(C|D)``.  Both steps are bit permutations, so they compose: bit
+    ``i`` of the unrotated C half lands at position ``(i + t) % 28``
+    after the round's cumulative left-rotation ``t``, and its PC2 image
+    from there is a fixed 48-bit mask.  Folding that composition into
+    tables indexed by 7-bit windows of the *unrotated* halves turns the
+    whole round into eight lookups and seven ORs -- no rotates, no
+    56-bit re-packing, no generic table application.
+
+    Layout: sixteen rounds x eight tables (windows of C at bit offsets
+    21/14/7/0, then the same four windows of D) x 128 entries.
+    """
+    # PC2 image of each single bit of the (rotated) C and D halves.
+    pc2_c_bit = [_apply_luts((1 << i) << 28, 56, _PC2_LUT) for i in range(28)]
+    pc2_d_bit = [_apply_luts(1 << i, 56, _PC2_LUT) for i in range(28)]
+    rounds = []
+    total = 0
+    for shift in _SHIFTS:
+        total += shift
+        tables = []
+        for half_bits in (pc2_c_bit, pc2_d_bit):
+            for base in (21, 14, 7, 0):
+                window = []
+                for value in range(128):
+                    k48 = 0
+                    for bit in range(7):
+                        if (value >> bit) & 1:
+                            k48 |= half_bits[(base + bit + total) % 28]
+                    window.append(k48)
+                tables.append(tuple(window))
+        rounds.append(tuple(tables))
+    return tuple(rounds)
+
+
+_ROUND_KEY_LUTS = _round_key_luts()
+
+
+def _raw_schedule(key: int) -> Tuple[Tuple[int, ...], ...]:
+    """The sixteen round subkeys as raw 6-bit chunks (no table selection).
+
+    This is the schedule the vector datapath consumes
+    (:mod:`repro.crypto.vector` packs the chunks into per-round XOR
+    masks); the scalar path uses :func:`_key_schedule`, which fuses the
+    ``_SPX`` table selection into the same loop.
+    """
+    permuted = _apply_luts(key, 64, _PC1_LUT)
+    c = (permuted >> 28) & 0x0FFFFFFF
+    d = permuted & 0x0FFFFFFF
+    c0, c1, c2, c3 = c >> 21, (c >> 14) & 127, (c >> 7) & 127, c & 127
+    d0, d1, d2, d3 = d >> 21, (d >> 14) & 127, (d >> 7) & 127, d & 127
+    rounds = []
+    for cw0, cw1, cw2, cw3, dw0, dw1, dw2, dw3 in _ROUND_KEY_LUTS:
+        k48 = (
+            cw0[c0] | cw1[c1] | cw2[c2] | cw3[c3]
+            | dw0[d0] | dw1[d1] | dw2[d2] | dw3[d3]
+        )
+        rounds.append(
+            (
+                (k48 >> 42) & 0x3F,
+                (k48 >> 36) & 0x3F,
+                (k48 >> 30) & 0x3F,
+                (k48 >> 24) & 0x3F,
+                (k48 >> 18) & 0x3F,
+                (k48 >> 12) & 0x3F,
+                (k48 >> 6) & 0x3F,
+                k48 & 0x3F,
+            )
+        )
+    return tuple(rounds)
+
+
 def _key_schedule(key: int) -> Tuple[Tuple[Tuple[int, ...], ...], ...]:
     """The sixteen round subkeys as selected SP tables.
 
     Each round's 48-bit subkey is split into eight 6-bit chunks and each
     chunk picks its pre-XORed SP table from ``_SPX`` -- sixteen rounds of
-    eight shared 64-entry tuples, no per-key table construction.
+    eight shared 64-entry tuples, no per-key table construction.  The
+    48-bit subkeys come from :data:`_ROUND_KEY_LUTS`, which bakes the
+    per-round rotation and PC2 into window lookups on the PC1 output.
     """
     permuted = _apply_luts(key, 64, _PC1_LUT)
     c = (permuted >> 28) & 0x0FFFFFFF
     d = permuted & 0x0FFFFFFF
+    c0, c1, c2, c3 = c >> 21, (c >> 14) & 127, (c >> 7) & 127, c & 127
+    d0, d1, d2, d3 = d >> 21, (d >> 14) & 127, (d >> 7) & 127, d & 127
+    spx0, spx1, spx2, spx3, spx4, spx5, spx6, spx7 = _SPX
     subkeys = []
-    for shift in _SHIFTS:
-        c = ((c << shift) | (c >> (28 - shift))) & 0x0FFFFFFF
-        d = ((d << shift) | (d >> (28 - shift))) & 0x0FFFFFFF
-        k48 = _apply_luts((c << 28) | d, 56, _PC2_LUT)
+    for cw0, cw1, cw2, cw3, dw0, dw1, dw2, dw3 in _ROUND_KEY_LUTS:
+        k48 = (
+            cw0[c0] | cw1[c1] | cw2[c2] | cw3[c3]
+            | dw0[d0] | dw1[d1] | dw2[d2] | dw3[d3]
+        )
         subkeys.append(
             (
-                _SPX[0][(k48 >> 42) & 0x3F],
-                _SPX[1][(k48 >> 36) & 0x3F],
-                _SPX[2][(k48 >> 30) & 0x3F],
-                _SPX[3][(k48 >> 24) & 0x3F],
-                _SPX[4][(k48 >> 18) & 0x3F],
-                _SPX[5][(k48 >> 12) & 0x3F],
-                _SPX[6][(k48 >> 6) & 0x3F],
-                _SPX[7][k48 & 0x3F],
+                spx0[(k48 >> 42) & 0x3F],
+                spx1[(k48 >> 36) & 0x3F],
+                spx2[(k48 >> 30) & 0x3F],
+                spx3[(k48 >> 24) & 0x3F],
+                spx4[(k48 >> 18) & 0x3F],
+                spx5[(k48 >> 12) & 0x3F],
+                spx6[(k48 >> 6) & 0x3F],
+                spx7[k48 & 0x3F],
             )
         )
     return tuple(subkeys)
@@ -221,7 +301,7 @@ class DES:
     :mod:`repro.crypto.modes`.
     """
 
-    __slots__ = ("subkeys", "subkeys_rev")
+    __slots__ = ("subkeys", "subkeys_rev", "_key_int", "_raw", "_vector")
 
     #: Process-wide count of key-schedule constructions (one per DES()).
     schedule_builds = 0
@@ -230,11 +310,29 @@ class DES:
         if len(key) != BLOCK_SIZE:
             raise ValueError(f"DES key must be 8 bytes, got {len(key)}")
         DES.schedule_builds += 1
+        self._key_int = int.from_bytes(key, "big")
         #: The encryption schedule: what :func:`_crypt` consumes.  The
         #: mode layer (:mod:`repro.crypto.modes`) reads these directly to
         #: drive ``_crypt`` without per-block method dispatch.
-        self.subkeys = _key_schedule(int.from_bytes(key, "big"))
+        self.subkeys = _key_schedule(self._key_int)
         self.subkeys_rev = tuple(reversed(self.subkeys))
+        # Lazily-built views for the vector datapath: the raw 6-bit
+        # schedule and the packed per-round masks cached on it by
+        # repro.crypto.vector (None until a batch touches this key).
+        self._raw = None
+        self._vector = None
+
+    @property
+    def raw_subkeys(self) -> Tuple[Tuple[int, ...], ...]:
+        """Sixteen rounds of eight raw 6-bit subkey chunks.
+
+        Built on first use (the scalar path never needs it) and cached;
+        the vector datapath packs these into per-lane XOR masks.
+        """
+        raw = self._raw
+        if raw is None:
+            raw = self._raw = _raw_schedule(self._key_int)
+        return raw
 
     def encrypt_int(self, block: int) -> int:
         """Encrypt one block given (and returned) as a 64-bit int."""

@@ -1,0 +1,53 @@
+"""numpy-vectorized batch crypto kernels: the lane datapath.
+
+The scalar kernels (:mod:`repro.crypto.des`, :mod:`repro.crypto.md5`)
+process one block of one datagram at a time; a ``protect_batch`` /
+``unprotect_batch`` call pays the full Python interpreter overhead per
+block.  This package runs the same algorithms across **N independent
+datagram lanes at once**: every DES SP-table lookup becomes one array
+gather over all lanes, every MD5 step becomes a handful of ufunc calls
+over a lane vector, and header stamping becomes column assignments on a
+byte matrix.  The per-lane outputs are bit-identical to the scalar
+kernels -- the scalar modules stay the differential reference, in the
+same pattern as ``des.reference``.
+
+numpy is optional at runtime: :data:`HAVE_NUMPY` is ``False`` when the
+import fails, the kernel names below then raise, and the protocol layer
+(:class:`repro.core.protocol.FBSEndpoint`) silently falls back to the
+scalar per-datagram loop.  Nothing in ``repro`` outside this package
+imports numpy.
+"""
+
+try:
+    import numpy  # noqa: F401  (probe only; kernels import it directly)
+except ImportError:
+    HAVE_NUMPY = False
+else:
+    HAVE_NUMPY = True
+
+if HAVE_NUMPY:
+    from repro.crypto.vector.des import cbc_decrypt_many, cbc_encrypt_many
+    from repro.crypto.vector.md5 import keyed_md5_many, md5_many
+    from repro.crypto.vector.stamp import encode_headers_many
+else:
+
+    def _unavailable(*_args, **_kwargs):
+        raise RuntimeError(
+            "repro.crypto.vector requires numpy; the scalar datapath "
+            "(repro.crypto.des / .md5 / .modes) is the fallback"
+        )
+
+    cbc_decrypt_many = _unavailable
+    cbc_encrypt_many = _unavailable
+    keyed_md5_many = _unavailable
+    md5_many = _unavailable
+    encode_headers_many = _unavailable
+
+__all__ = [
+    "HAVE_NUMPY",
+    "cbc_decrypt_many",
+    "cbc_encrypt_many",
+    "encode_headers_many",
+    "keyed_md5_many",
+    "md5_many",
+]

@@ -66,6 +66,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--batch", type=int, default=256, help="datapath batch size"
     )
     parser.add_argument(
+        "--no-vectorize",
+        action="store_true",
+        help="force the scalar per-datagram kernels (skip repro.crypto.vector)",
+    )
+    parser.add_argument(
         "--trace-out",
         metavar="DIR",
         default=None,
@@ -96,6 +101,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         datagrams=args.datagrams,
         secret=args.secret,
         batch=args.batch,
+        vectorize=not args.no_vectorize,
         trace_dir=args.trace_out,
     )
     try:

@@ -56,6 +56,7 @@ class LoadSpec:
     threshold: float = 600.0
     cache_size: int = 4096
     batch: int = 256
+    vectorize: bool = True
     trace_dir: Optional[str] = None
     timing: bool = False
     #: Run every worker in this process even for ``workers > 1``
@@ -76,6 +77,7 @@ class LoadSpec:
                 threshold=self.threshold,
                 cache_size=self.cache_size,
                 batch=self.batch,
+                vectorize=self.vectorize,
                 trace_dir=self.trace_dir,
                 timing=self.timing,
             )
@@ -177,6 +179,7 @@ def verify_merge(spec: LoadSpec) -> Dict[str, object]:
             threshold=spec.threshold,
             cache_size=spec.cache_size,
             batch=spec.batch,
+            vectorize=spec.vectorize,
         )
     )
     sharded = shard_invariant_view(run["merged"])

@@ -18,3 +18,11 @@ def leak(kdf, sfl, master, src, dst, header_mac):
     if enc == header_mac:  # leak: variable-time compare on key material
         return label
     return None
+
+
+def leak_lanes(np, kdf, sfl, master, src, dst):
+    # The vector datapath moves MAC keys through ndarrays; taint must
+    # survive the frombuffer/astype/tobytes round trip.
+    flow_key = kdf.flow_key(sfl, master, src, dst)
+    lanes = np.frombuffer(flow_key, dtype=np.uint8)
+    print(lanes.astype(np.uint32).tobytes())  # leak: key via ndarray

@@ -18,3 +18,9 @@ def verify(kdf, sfl, master, src, dst, header_mac, compute_mac):
 def describe(sfl):
     # Flow labels are public header fields; rendering them is fine.
     return f"flow {sfl:#x}"
+
+
+def stamp_headers(np, confounders):
+    # Public header fields through ndarrays are not key material.
+    head = np.asarray(confounders, dtype=np.uint32)
+    return head.astype(np.uint8).tobytes()

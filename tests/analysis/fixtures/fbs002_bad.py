@@ -14,3 +14,10 @@ def now_wall():
     tick = time.monotonic()  # banned
     stamp = datetime.now()  # banned (argless)
     return started, tick, stamp
+
+
+def time_batch(kernel, lanes):
+    # Timing vector kernels belongs in repro.bench, not the datapath.
+    t0 = time.perf_counter()  # banned
+    kernel(lanes)
+    return t0

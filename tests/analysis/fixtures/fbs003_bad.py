@@ -6,7 +6,15 @@ Linted as if it lived at ``src/repro/core/jitter.py``.
 # fbslint: module=repro.core.jitter
 import random
 
+import numpy as np
+
 
 def jitter():
     rng = random.Random()  # unseeded: nondeterministic
     return random.random() + rng.random()  # global generator
+
+
+def lane_noise():
+    noise = np.random.random(64)  # global numpy legacy generator
+    rng = np.random.default_rng()  # unseeded
+    return noise, rng

@@ -6,6 +6,8 @@ Linted as if it lived at ``src/repro/core/jitter.py``.
 # fbslint: module=repro.core.jitter
 import random as _random
 
+import numpy as np
+
 
 def jitter(seed):
     rng = _random.Random(seed)
@@ -14,3 +16,7 @@ def jitter(seed):
 
 def loss(seed=0):
     return _random.Random(seed).uniform(0.0, 0.01)
+
+
+def lane_noise(seed):
+    return np.random.default_rng(seed).random(64)

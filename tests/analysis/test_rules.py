@@ -12,9 +12,9 @@ FIXTURES = Path(__file__).parent / "fixtures"
 #: rule id -> (logical path the fixtures impersonate, findings expected
 #: from the violating fixture).
 CASES = {
-    "FBS001": ("src/repro/core/session.py", 4),
-    "FBS002": ("src/repro/netsim/badclock.py", 3),
-    "FBS003": ("src/repro/core/jitter.py", 2),
+    "FBS001": ("src/repro/core/session.py", 5),
+    "FBS002": ("src/repro/netsim/badclock.py", 4),
+    "FBS003": ("src/repro/core/jitter.py", 4),
     "FBS004": ("src/repro/baselines/guard.py", 1),
     "FBS005": ("src/repro/core/header.py", 6),
     "FBS006": ("src/repro/baselines/receiver.py", 3),

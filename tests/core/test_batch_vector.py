@@ -1,0 +1,192 @@
+"""Vector batch datapath: differential equivalence and fallback.
+
+``FBSConfig.vectorize`` must be invisible except in speed: twin worlds
+running the same workload with the switch on and off must produce
+byte-identical wire output, identical registry snapshots, and identical
+per-datagram rejection reasons.  A separate subprocess test proves the
+endpoint falls back to the scalar loop when numpy is absent.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.config import FBSConfig
+from repro.core.deploy import FBSDomain
+from repro.core.keying import Principal
+
+pytestmark = pytest.mark.skipif(
+    not __import__("repro.crypto.vector", fromlist=["HAVE_NUMPY"]).HAVE_NUMPY,
+    reason="vector differential needs numpy (fallback covered separately)",
+)
+
+
+class Clock:
+    def __init__(self, start=0.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+
+def make_pair(vectorize, config=None, seed=11):
+    base = config or FBSConfig(replay_guard_size=256)
+    clock = Clock()
+    domain = FBSDomain(seed=seed, config=base.with_(vectorize=vectorize))
+    alice = domain.make_endpoint(Principal.from_name("alice"), now=clock)
+    bob = domain.make_endpoint(Principal.from_name("bob"), now=clock)
+    return alice, bob, clock
+
+
+# Mixed sizes on purpose: empty body, sub-block, exact blocks, large --
+# the ragged-batch paths of every kernel.
+BODIES = [
+    b"",
+    b"a",
+    b"sevenby",
+    b"8 bytes!",
+    bytes(range(9)),
+    bytes(255),
+    bytes(256),
+    b"x" * 1500,
+    b"tail",
+]
+STAMPS = [0.25 * i for i in range(len(BODIES))]
+
+
+def protect_all(alice, bob, clock, vector_on, secret):
+    clock.now = STAMPS[-1]
+    return alice.protect_batch(
+        BODIES, bob.principal, secret=secret, stamps=STAMPS
+    )
+
+
+def corrupt(wires):
+    stream = list(wires)
+    stream[1] = stream[1][:-1] + bytes([stream[1][-1] ^ 0x80])  # mac
+    stream[3] = stream[3][:5]  # header (truncated)
+    stream.append(stream[0])  # duplicate
+    stamps = STAMPS + [STAMPS[-1]]
+    return stream, stamps
+
+
+class TestVectorBatchDifferential:
+    @pytest.mark.parametrize("secret", [False, True])
+    def test_protect_wire_bytes_and_snapshots_match(self, secret):
+        a_v, b_v, clk_v = make_pair(vectorize=True)
+        a_s, b_s, clk_s = make_pair(vectorize=False)
+        wires_v = protect_all(a_v, b_v, clk_v, True, secret)
+        wires_s = protect_all(a_s, b_s, clk_s, False, secret)
+        assert wires_v == wires_s
+        assert a_v.registry.snapshot() == a_s.registry.snapshot()
+
+    @pytest.mark.parametrize("secret", [False, True])
+    def test_unprotect_bodies_reasons_and_snapshots_match(self, secret):
+        a_v, b_v, clk_v = make_pair(vectorize=True)
+        a_s, b_s, clk_s = make_pair(vectorize=False)
+        stream_v, stamps = corrupt(protect_all(a_v, b_v, clk_v, True, secret))
+        stream_s, _ = corrupt(protect_all(a_s, b_s, clk_s, False, secret))
+        assert stream_v == stream_s
+        clk_v.now = clk_s.now = stamps[-1]
+        result_v = b_v.unprotect_batch(
+            stream_v, a_v.principal, secret=secret, stamps=stamps
+        )
+        result_s = b_s.unprotect_batch(
+            stream_s, a_s.principal, secret=secret, stamps=stamps
+        )
+        assert result_v.bodies == result_s.bodies
+        assert result_v.reasons == result_s.reasons
+        assert b_v.registry.snapshot() == b_s.registry.snapshot()
+        # The corrupted stream must actually exercise rejections, or
+        # this differential proves less than it claims.
+        assert result_v.rejected == {"mac": 1, "header": 1, "duplicate": 1}
+
+    def test_unknown_source_keying_reason_matches(self):
+        a_v, b_v, _ = make_pair(vectorize=True)
+        a_s, b_s, _ = make_pair(vectorize=False)
+        stranger = Principal.from_name("mallory")
+        wires_v = protect_all(a_v, b_v, Clock(), True, False)
+        wires_s = protect_all(a_s, b_s, Clock(), False, False)
+        result_v = b_v.unprotect_batch(wires_v, stranger, stamps=STAMPS)
+        result_s = b_s.unprotect_batch(wires_s, stranger, stamps=STAMPS)
+        assert result_v.reasons == result_s.reasons == ["keying"] * len(BODIES)
+        assert b_v.registry.snapshot() == b_s.registry.snapshot()
+
+    def test_single_datagram_batch_takes_scalar_path_identically(self):
+        # n == 1 falls back to the scalar loop; output must still match
+        # a protect() call in a twin world.
+        a_v, b_v, clk_v = make_pair(vectorize=True)
+        a_s, b_s, clk_s = make_pair(vectorize=False)
+        wire_v = a_v.protect_batch([b"solo"], b_v.principal, secret=True)
+        wire_s = [a_s.protect(b"solo", b_s.principal, secret=True)]
+        assert wire_v == wire_s
+        assert a_v.registry.snapshot() == a_s.registry.snapshot()
+
+
+class TestEmptyBatchCounters:
+    def test_protect_empty_touches_nothing(self):
+        alice, bob, _ = make_pair(vectorize=True)
+        before = alice.registry.snapshot()
+        assert alice.protect_batch([], bob.principal, secret=True) == []
+        assert alice.registry.snapshot() == before
+
+    def test_unprotect_empty_touches_nothing(self):
+        alice, bob, _ = make_pair(vectorize=True)
+        before = bob.registry.snapshot()
+        result = bob.unprotect_batch([], alice.principal, secret=True)
+        assert result.bodies == [] and result.reasons == []
+        assert bob.registry.snapshot() == before
+
+
+_NO_NUMPY_SCRIPT = r"""
+import sys
+
+import repro.crypto.vector as vector
+
+assert not vector.HAVE_NUMPY, "numpy stub did not take effect"
+try:
+    vector.keyed_md5_many([b"k"], [b"m"])
+except RuntimeError:
+    pass
+else:
+    sys.exit("kernel stub should raise without numpy")
+
+from repro.core.config import FBSConfig
+from repro.core.deploy import FBSDomain
+from repro.core.keying import Principal
+
+domain = FBSDomain(seed=3, config=FBSConfig(vectorize=True))
+alice = domain.make_endpoint(Principal.from_name("alice"), now=lambda: 0.0)
+bob = domain.make_endpoint(Principal.from_name("bob"), now=lambda: 0.0)
+assert not alice._vector_ok, "endpoint must fall back without numpy"
+bodies = [b"", b"one", b"x" * 100]
+wires = alice.protect_batch(bodies, bob.principal, secret=True)
+result = bob.unprotect_batch(wires, alice.principal, secret=True)
+assert result.bodies == bodies, result.reasons
+print("FALLBACK-OK")
+"""
+
+
+class TestNumpylessFallback:
+    def test_batch_roundtrip_without_numpy(self, tmp_path):
+        # A numpy stub that raises ImportError, placed ahead of the
+        # real one: the endpoint must silently take the scalar loop.
+        (tmp_path / "numpy.py").write_text(
+            'raise ImportError("numpy disabled for fallback test")\n'
+        )
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(tmp_path), os.path.abspath(src)]
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", _NO_NUMPY_SCRIPT],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "FALLBACK-OK" in proc.stdout
