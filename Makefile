@@ -6,7 +6,7 @@ PYTHON ?= python3
 # no editable install needed.
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test lint lint-docs lint-cache-bench obs-check resilience-smoke load-smoke bench bench-smoke examples reports clean
+.PHONY: install test lint lint-docs lint-cache-bench obs-check resilience-smoke load-smoke transport-smoke bench bench-smoke examples reports clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -52,6 +52,15 @@ load-smoke:
 	$(PYTHON) -m repro.load --smoke --workers 2 --seed 0 --out /tmp/FBS_load_smoke_b.json
 	cmp /tmp/FBS_load_smoke_a.json /tmp/FBS_load_smoke_b.json
 	$(PYTHON) -c 'import json; r = json.load(open("/tmp/FBS_load_smoke_a.json")); agg = r["aggregate"]["goodput_dps"]; best = max(w["goodput_dps"] for w in r["workers"]); assert agg >= best, (agg, best); print("load-smoke: aggregate %.1f dps >= best shard %.1f dps; merge %s" % (agg, best, r["merge_check"]["result"]))'
+
+# Real-socket transport (CI tier): run the UDP echo demo twice over
+# loopback; fail on any lost exchange (CLI exit 1) or on report
+# nondeterminism (cmp -- the report is ledger-only, so a lossless run
+# is byte-stable even on real sockets).
+transport-smoke:
+	$(PYTHON) -m repro.transport --demo udp-echo --out /tmp/FBS_transport_a.json
+	$(PYTHON) -m repro.transport --demo udp-echo --out /tmp/FBS_transport_b.json
+	cmp /tmp/FBS_transport_a.json /tmp/FBS_transport_b.json
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

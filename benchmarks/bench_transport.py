@@ -1,0 +1,249 @@
+"""Loopback UDP vs netsim prediction -> BENCH_transport.json.
+
+The transport tentpole's measurement: the same echo workload (one
+protected datagram in flight, server unprotects and re-protects the
+reply) runs over both substrates, and this bench records what each
+side of the boundary claims:
+
+* **netsim prediction** -- RTTs and goodput read off the *virtual*
+  clock of a two-host simulated segment: pure propagation +
+  serialization + simulated stack cost, deterministic down to the
+  digit.  This is what the simulator says an idealized loopback wire
+  should do.
+* **loopback measurement** -- the identical exchanges over real
+  ``asyncio`` UDP sockets on 127.0.0.1, RTTs read off the monotonic
+  clock (``UdpTransport.now()``): kernel scheduling, syscalls, event
+  loop dispatch, the lot.
+
+Methodology carried from the vector-datapath bench (PR 7): the
+measured side is timed in *interleaved windows* -- UDP windows
+alternate with netsim windows across repetitions, and the published
+goodput is the best window (interference only ever slows a run).
+Latency percentiles (p50/p99) pool every exchange from every window.
+The netsim numbers are deterministic, so interleaving costs nothing
+there and keeps the two columns methodologically symmetric.
+
+Results are *appended* to BENCH_transport.json (one entry per
+invocation), accumulating a history across machines and PRs.
+
+Runs two ways:
+
+* under pytest with the other benches (``make bench``), writing
+  ``benchmarks/reports/transport_loopback.txt``;
+* as a CLI -- ``python benchmarks/bench_transport.py [--smoke]
+  [--json PATH]`` -- appending to ``BENCH_transport.json``.
+"""
+
+import argparse
+import asyncio
+import json
+import os
+import pathlib
+import sys
+
+from repro.transport.runner import build_netsim_channels, build_udp_channels
+
+DEFAULT_JSON = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_transport.json"
+)
+
+PAYLOAD = bytes(range(256)) * 2  # 512B datagram body
+
+
+async def _echo_window(client, server, exchanges, timeout=1.0):
+    """One window: ping-pong ``exchanges`` datagrams, RTT per exchange.
+
+    Returns (rtts, elapsed, lost) on the *client transport's* clock --
+    virtual seconds over netsim, monotonic seconds over UDP, so the
+    same window function produces both the prediction and the
+    measurement.
+    """
+    now = client.transport.now
+    rtts = []
+    lost = 0
+    start = now()
+    for _ in range(exchanges):
+        t0 = now()
+        await client.send(PAYLOAD)
+        request = await server.recv(timeout)
+        if request is not None:
+            await server.send(request)
+        reply = await client.recv(timeout)
+        t1 = now()
+        if reply is None:
+            lost += 1
+        else:
+            rtts.append(t1 - t0)
+    return rtts, now() - start, lost
+
+
+def _percentile(samples, fraction):
+    """Nearest-rank percentile of a sorted sample list."""
+    if not samples:
+        return 0.0
+    rank = min(len(samples) - 1, int(fraction * len(samples)))
+    return samples[rank]
+
+
+async def _run_windows(profile: str, seed: int) -> dict:
+    exchanges = 50 if profile == "smoke" else 400
+    repeats = 2 if profile == "smoke" else 5
+
+    udp_rtts, netsim_rtts = [], []
+    udp_best = netsim_best = 0.0
+    udp_lost = 0
+
+    for rep in range(repeats):
+        # Interleaved windows: one measured (UDP), one predicted
+        # (netsim), per repetition.
+        u_client, u_server = await build_udp_channels(seed=seed + rep)
+        rtts, elapsed, lost = await _echo_window(u_client, u_server, exchanges)
+        await u_client.close()
+        await u_server.close()
+        udp_rtts.extend(rtts)
+        udp_lost += lost
+        if elapsed > 0:
+            udp_best = max(udp_best, len(rtts) / elapsed)
+
+        n_client, n_server = build_netsim_channels(seed=seed + rep)
+        rtts, elapsed, lost = await _echo_window(n_client, n_server, exchanges)
+        await n_client.close()
+        await n_server.close()
+        netsim_rtts.extend(rtts)
+        if elapsed > 0:
+            netsim_best = max(netsim_best, len(rtts) / elapsed)
+
+    udp_rtts.sort()
+    netsim_rtts.sort()
+
+    def column(rtts, goodput, lost):
+        return {
+            "exchanges": repeats * exchanges,
+            "lost": lost,
+            "goodput_dps": round(goodput, 2),
+            "rtt_p50_ms": round(_percentile(rtts, 0.50) * 1e3, 4),
+            "rtt_p99_ms": round(_percentile(rtts, 0.99) * 1e3, 4),
+        }
+
+    entry = {
+        "profile": profile,
+        "seed": seed,
+        "payload_bytes": len(PAYLOAD),
+        "windows": repeats,
+        "exchanges_per_window": exchanges,
+        "cpu_count": os.cpu_count(),
+        "python": "%d.%d.%d" % sys.version_info[:3],
+        "netsim_predicted": column(netsim_rtts, netsim_best, 0),
+        "udp_measured": column(udp_rtts, udp_best, udp_lost),
+    }
+    predicted = entry["netsim_predicted"]["rtt_p50_ms"]
+    measured = entry["udp_measured"]["rtt_p50_ms"]
+    entry["measured_over_predicted_p50"] = (
+        round(measured / predicted, 3) if predicted > 0 else None
+    )
+    return entry
+
+
+def run_transport_bench(profile: str = "full", seed: int = 0) -> dict:
+    return asyncio.run(_run_windows(profile, seed))
+
+
+def check_results(entry: dict) -> None:
+    """Acceptance gates for one entry."""
+    predicted = entry["netsim_predicted"]
+    measured = entry["udp_measured"]
+    assert measured["lost"] == 0, (
+        f"loopback lost {measured['lost']} exchanges; the substrate or "
+        "queue bounds are misbehaving on a lossless path"
+    )
+    assert predicted["lost"] == 0, "netsim lost datagrams on a perfect segment"
+    for column in (predicted, measured):
+        assert column["goodput_dps"] > 0, "no goodput recorded"
+        assert column["rtt_p99_ms"] >= column["rtt_p50_ms"] > 0, (
+            "latency percentiles are not ordered"
+        )
+    # The simulated wire is an idealization; real sockets pay kernel
+    # and event-loop costs on top.  If measurement beats prediction by
+    # 100x the virtual model (or the clock plumbing) is broken.
+    ratio = entry["measured_over_predicted_p50"]
+    assert ratio is None or ratio > 0.01, (
+        f"measured RTT is {ratio}x the netsim prediction -- clocks crossed?"
+    )
+
+
+def render_report(entry: dict) -> str:
+    lines = [
+        f"transport loopback vs netsim prediction ({entry['profile']}): "
+        f"{entry['windows']} interleaved windows x "
+        f"{entry['exchanges_per_window']} exchanges, "
+        f"{entry['payload_bytes']}B payloads, seed {entry['seed']}",
+        "",
+        f"{'substrate':>18}  {'goodput xch/s':>13}  {'p50 RTT ms':>10}  "
+        f"{'p99 RTT ms':>10}  {'lost':>4}",
+    ]
+    for label, key in (
+        ("netsim (predicted)", "netsim_predicted"),
+        ("udp (measured)", "udp_measured"),
+    ):
+        col = entry[key]
+        lines.append(
+            f"{label:>18}  {col['goodput_dps']:>13.1f}  "
+            f"{col['rtt_p50_ms']:>10.4f}  {col['rtt_p99_ms']:>10.4f}  "
+            f"{col['lost']:>4}"
+        )
+    lines.append("")
+    lines.append(
+        f"measured/predicted p50: {entry['measured_over_predicted_p50']}x "
+        "(real sockets pay kernel + event-loop costs the virtual wire "
+        "does not model)"
+    )
+    return "\n".join(lines)
+
+
+def append_entry(path: pathlib.Path, entry: dict) -> dict:
+    """Append one run to the history file; returns the full document."""
+    if path.exists():
+        document = json.loads(path.read_text())
+    else:
+        document = {"bench_version": 1, "runs": []}
+    document["runs"].append(entry)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return document
+
+
+def test_transport_loopback(benchmark, report_writer):
+    entry = benchmark.pedantic(
+        run_transport_bench, kwargs={"profile": "smoke"}, rounds=1, iterations=1
+    )
+    report_writer("transport_loopback", render_report(entry))
+    check_results(entry)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="2 windows x 50 exchanges (CI); percentiles are noisier",
+    )
+    parser.add_argument(
+        "--json",
+        type=pathlib.Path,
+        default=DEFAULT_JSON,
+        metavar="PATH",
+        help=f"history file to append to (default: {DEFAULT_JSON})",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    entry = run_transport_bench(
+        profile="smoke" if args.smoke else "full", seed=args.seed
+    )
+    check_results(entry)
+    append_entry(args.json, entry)
+    print(render_report(entry))
+    print(f"\nappended to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -80,6 +80,19 @@ class ModuleContext:
         return self.in_package("bench")
 
     @property
+    def is_clock_sanctioned(self) -> bool:
+        """May this module read the real clock (FBS002 carve-out)?
+
+        ``repro.bench`` measures real time; ``repro.transport.udp`` *is*
+        the real-time substrate -- its ``now()`` is the clock the rest
+        of the stack injects, which is exactly how real-clock access
+        stays quarantined behind the transport boundary.  Everything
+        else (including the rest of ``repro.transport``) stays under
+        the ban.
+        """
+        return self.is_bench or self.is_module("transport", "udp")
+
+    @property
     def is_test_code(self) -> bool:
         """Test modules keep their ``assert`` statements."""
         if self.module_parts is None:

@@ -63,7 +63,13 @@ _FALLBACK_TAXONOMY = _FALLBACK_RECEIVE_ERRORS | {
 _PURITY_ZONE = ("repro.core", "repro.crypto", "repro.netsim", "repro.baselines")
 
 #: Packages whose reports must be byte-identical (FBS011).
-_REPORT_ZONE = ("repro.resilience", "repro.load", "repro.obs", "repro.analysis")
+_REPORT_ZONE = (
+    "repro.resilience",
+    "repro.load",
+    "repro.obs",
+    "repro.analysis",
+    "repro.transport",
+)
 
 #: Modules forming the receive datapath (FBS006 v2 roots; raises inside
 #: them are the local FBS006 rule's job).

@@ -5,9 +5,12 @@ advances a simulated clock and every RNG is explicitly seeded.  Two
 rules guard that:
 
 * **FBS002** -- ``time.time``/``time.monotonic``/argless
-  ``datetime.now`` (and friends) are banned outside ``repro.bench``;
-  protocol and simulation code takes the simulated clock (``sim.now`` /
-  the ``now`` callable) instead.
+  ``datetime.now`` (and friends) are banned outside ``repro.bench`` and
+  ``repro.transport.udp`` (the real-socket substrate: its ``now()`` is
+  the clock the rest of the stack injects, keeping real time
+  quarantined behind the transport boundary); protocol and simulation
+  code takes the simulated clock (``sim.now`` / the ``now`` callable)
+  instead.
 * **FBS003** -- no module-global ``random.*`` calls and no unseeded
   ``Random()`` / ``SystemRandom`` anywhere in ``src/repro``; every
   generator is constructed with an explicit seed (see
@@ -124,12 +127,14 @@ class WallClockRule(Rule):
     severity = Severity.WARNING
     description = (
         "time.time/time.monotonic/argless datetime.now are banned outside "
-        "repro.bench; use the simulated clock (sim.now / the now callable)"
+        "repro.bench and repro.transport.udp (the real-socket substrate, "
+        "whose now() is the clock everything else injects); use the "
+        "simulated clock (sim.now / the now callable)"
     )
     rationale = "EXPERIMENTS.md reproducibility; netsim is a virtual-time simulator"
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
-        if ctx.is_bench or ctx.is_test_code:
+        if ctx.is_clock_sanctioned or ctx.is_test_code:
             return
         aliases = _import_aliases(ctx.tree)
         time_aliases = aliases.get("time", set())

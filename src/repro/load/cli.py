@@ -25,6 +25,7 @@ from typing import List, Optional
 from repro.load.engine import LoadError, LoadSpec, run_load, verify_merge
 from repro.load.report import build_report, render_report
 from repro.load.worker import WORKLOADS
+from repro.transport.hop import HOP_NAMES
 
 __all__ = ["main"]
 
@@ -71,6 +72,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="force the scalar per-datagram kernels (skip repro.crypto.vector)",
     )
     parser.add_argument(
+        "--transport",
+        choices=HOP_NAMES,
+        default="direct",
+        help="wire hop between protect and unprotect: in-memory "
+        "hand-off, or a NetsimTransport pair over a perfect simulated "
+        "segment (identical ledgers either way)",
+    )
+    parser.add_argument(
         "--trace-out",
         metavar="DIR",
         default=None,
@@ -103,6 +112,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         batch=args.batch,
         vectorize=not args.no_vectorize,
         trace_dir=args.trace_out,
+        transport=args.transport,
     )
     try:
         run = verify_merge(spec) if args.smoke else run_load(spec)

@@ -59,6 +59,9 @@ class LoadSpec:
     vectorize: bool = True
     trace_dir: Optional[str] = None
     timing: bool = False
+    #: Wire hop between protect and unprotect (``direct`` or
+    #: ``netsim``); see :class:`repro.load.worker.WorkerSpec.transport`.
+    transport: str = "direct"
     #: Run every worker in this process even for ``workers > 1``
     #: (deterministic by construction either way; inline is what tests
     #: and the merge check use to avoid process start-up cost).
@@ -80,6 +83,7 @@ class LoadSpec:
                 vectorize=self.vectorize,
                 trace_dir=self.trace_dir,
                 timing=self.timing,
+                transport=self.transport,
             )
             for i in range(self.workers)
         ]

@@ -129,6 +129,14 @@ class WorkerSpec:
     #: When True, measure real CPU/wall time around the replay loop
     #: (bench mode only: the canonical report must stay byte-stable).
     timing: bool = False
+    #: Wire hop between protect and unprotect
+    #: (:data:`repro.transport.hop.HOP_NAMES`): ``direct`` hands the
+    #: batch over in memory (the historical wiring -- reports are
+    #: byte-identical to pre-transport runs), ``netsim`` relays every
+    #: batch through a :class:`~repro.transport.netsim.NetsimTransport`
+    #: pair over a perfect simulated segment (same ledgers, datagrams
+    #: genuinely traverse the transport interface).
+    transport: str = "direct"
 
 
 class _SimClock:
@@ -222,6 +230,12 @@ def run_worker(spec: WorkerSpec) -> Dict[str, object]:
     receiver_wire = receiver_principal.wire_id
     batch = max(1, spec.batch)
     secret = spec.secret
+    # The wire hop is built inside the worker process: hops hold live
+    # simulator state and are not picklable, so the spec carries only
+    # the substrate name.
+    from repro.transport.hop import build_hop
+
+    hop = build_hop(spec.transport, seed=spec.seed * 1000 + spec.worker)
     cpu = wall = None
     if spec.timing:
         # Real clocks live in repro.bench (FBS002); imported lazily so
@@ -250,8 +264,9 @@ def run_worker(spec: WorkerSpec) -> Dict[str, object]:
             secret=secret,
             stamps=stamps,
         )
+        delivered = hop.relay(wire)
         receiver.unprotect_batch(
-            wire, sender_principal, secret=secret, stamps=stamps
+            delivered, sender_principal, secret=secret, stamps=stamps
         )
     if spec.timing:
         cpu = process_cpu_seconds() - cpu0

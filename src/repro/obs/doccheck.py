@@ -98,6 +98,13 @@ def run_doc_checks(root: str) -> List[str]:
     """All documentation checks for a repo root; empty means clean."""
     doc_path = os.path.join(root, "docs", "OBSERVABILITY.md")
     problems = check_observability_doc(doc_path)
+    # Lazy import: obs sits below transport in the layering and must not
+    # pull it in eagerly; check-docs is an offline CLI path.
+    from repro.transport.doccheck import check_deployment_doc
+
+    problems.extend(
+        check_deployment_doc(os.path.join(root, "docs", "DEPLOYMENT.md"))
+    )
     problems.extend(
         check_markdown_links(default_markdown_files(root), root)
     )

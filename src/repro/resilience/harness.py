@@ -30,7 +30,7 @@ from repro.netsim import Network
 from repro.netsim.host import Host
 from repro.netsim.ipv4 import IPProtocol, IPv4Header, IPv4Packet
 from repro.netsim.link import EthernetSegment
-from repro.netsim.sockets import UdpSocket
+from repro.transport.netsim import NetsimTransport
 from repro.obs.sinks import RingBufferSink
 from repro.obs.tracer import Tracer
 from repro.resilience.scenario import Scenario
@@ -133,8 +133,15 @@ class ScenarioHarness:
             self.receiver, encrypt_all=True, tracer=tracer
         )
 
-        self._rx = UdpSocket(self.receiver, RECEIVER_PORT)
-        self._tx = UdpSocket(self.sender)
+        # Both ends go through the transport interface: the adapter is
+        # differentially pinned byte-identical to hand-wired UdpSockets,
+        # so every seeded scenario report stays exactly as it was.
+        self._rx = NetsimTransport(
+            self.receiver, local_port=RECEIVER_PORT, recv_queue=1 << 16
+        )
+        self._tx = NetsimTransport(
+            self.sender, remote=(self.receiver.address, RECEIVER_PORT)
+        )
 
         # Promiscuous capture of genuine alice->bob frames, for the
         # tamper/replay injections (the Section 7.3 sniffer, weaponized).
@@ -159,9 +166,7 @@ class ScenarioHarness:
             self._sent.append(payload)
             self._send_times.append(t)
             self.net.sim.schedule_at(
-                t, lambda p=payload: self._tx.sendto(
-                    p, self.receiver.address, RECEIVER_PORT
-                )
+                t, lambda p=payload: self._tx.send_sync(p)
             )
 
         # -- fault schedule (fractions of the send window). --
@@ -284,7 +289,7 @@ class ScenarioHarness:
             seed=self.seed,
             sent=self._sent,
             send_times=self._send_times,
-            delivered=[payload for payload, _src, _port in self._rx.received],
+            delivered=self._rx.drain(),
             events=[event.to_dict() for event in self._sink.events],
             counters=counters,
             forged_sent=self.forged_sent,

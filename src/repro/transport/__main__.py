@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.transport``."""
+
+import sys
+
+from repro.transport.cli import main
+
+sys.exit(main())

@@ -1,0 +1,48 @@
+"""Docs-vs-code sync for the transport operator guide.
+
+``docs/DEPLOYMENT.md`` carries the full configuration reference for the
+real-socket backend; this check keeps it honest the same way
+``docs/OBSERVABILITY.md`` is kept honest: every operator-facing knob --
+each :class:`~repro.transport.udp.UdpTransportConfig` field, each
+:class:`~repro.transport.channel.RetryPolicy` field, and each CLI
+``--transport`` hop name -- must appear in backticks in the guide.
+Wired into ``python -m repro.obs check-docs`` (which imports this
+module lazily: obs never imports upward eagerly)."""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import re
+from typing import List
+
+from repro.transport.channel import RetryPolicy
+from repro.transport.hop import HOP_NAMES
+from repro.transport.udp import UdpTransportConfig
+
+__all__ = ["check_deployment_doc"]
+
+_BACKTICKED = re.compile(r"`([^`\n]+)`")
+
+
+def check_deployment_doc(doc_path: str) -> List[str]:
+    """Problems with the deployment guide's coverage (empty = in sync)."""
+    problems: List[str] = []
+    if not os.path.isfile(doc_path):
+        return [f"{doc_path}: missing"]
+    with open(doc_path, "r", encoding="utf-8") as fp:
+        text = fp.read()
+    mentioned = set(_BACKTICKED.findall(text))
+    for config_cls in (UdpTransportConfig, RetryPolicy):
+        for field in dataclasses.fields(config_cls):
+            if field.name not in mentioned:
+                problems.append(
+                    f"{doc_path}: {config_cls.__name__} knob "
+                    f"`{field.name}` is not documented"
+                )
+    for hop in HOP_NAMES:
+        if hop not in mentioned:
+            problems.append(
+                f"{doc_path}: --transport value `{hop}` is not documented"
+            )
+    return problems

@@ -1,0 +1,20 @@
+"""Violating fixture for the FBS002 transport carve-out's *edge*.
+
+The carve-out covers ``repro.transport.udp`` only: the rest of the
+transport package (adapter, channel, hops, runner) is deterministic
+code that must take its time from the transport's injected clock.  Same
+source as ``fbs002_transport_ok.py``, impersonating the netsim adapter
+instead of the UDP substrate.
+"""
+
+# fbslint: module=repro.transport.netsim
+import time
+
+
+def now():
+    # Banned here: the adapter's clock is the simulated host clock.
+    return time.monotonic()
+
+
+def rtt(started):
+    return time.monotonic() - started

@@ -1,0 +1,20 @@
+"""Compliant fixture for the FBS002 transport carve-out.
+
+Real-clock reads are *sanctioned* in ``repro.transport.udp``: the
+real-socket substrate's ``now()`` is the clock everything else injects
+(the quarantine boundary).  This file is byte-for-byte the same code as
+``fbs002_transport_bad.py`` -- only the impersonated module differs.
+"""
+
+# fbslint: module=repro.transport.udp
+import time
+
+
+def now():
+    # The substrate clock: the one sanctioned real-clock read outside
+    # repro.bench.
+    return time.monotonic()
+
+
+def rtt(started):
+    return time.monotonic() - started

@@ -1,0 +1,30 @@
+"""Violating fixture for FBS010 in transport-shaped async code.
+
+The FBS002 clock carve-out for ``repro.transport.udp`` does NOT relax
+FBS010: new async transport code still must not block the event loop --
+no ``time.sleep`` backoff, no raw blocking sockets, no sync file I/O,
+directly or through a helper.
+"""
+
+# fbslint: module=repro.transport.udp
+import socket
+import time
+
+
+def _poll_blocking(sock):
+    # Only a problem once an async function reaches it.
+    time.sleep(0.01)
+    return sock
+
+
+async def recv(sock):
+    return _poll_blocking(sock)  # blocking hidden one call away
+
+
+async def retry(send, backoff):
+    time.sleep(backoff)  # blocking backoff in async code
+    await send()
+
+
+async def open_socket(port):
+    return socket.socket(socket.AF_INET, socket.SOCK_DGRAM)  # blocking API

@@ -1,0 +1,25 @@
+"""Compliant fixture for FBS010 over the UDP transport's async surface.
+
+Every wait is an ``await``: queue reads under ``asyncio.wait_for``,
+backoff via ``asyncio.sleep``, shutdown via an awaited event.  This is
+the shape ``repro.transport.udp`` itself must keep.
+"""
+
+# fbslint: module=repro.transport.udp
+import asyncio
+
+
+async def recv(queue, timeout):
+    try:
+        return await asyncio.wait_for(queue.get(), timeout)
+    except asyncio.TimeoutError:
+        return None
+
+
+async def retry(send, backoff):
+    await asyncio.sleep(backoff)
+    await send()
+
+
+async def close(closed_event, timeout):
+    await asyncio.wait_for(closed_event.wait(), timeout)

@@ -1,0 +1,61 @@
+"""Shared helpers for the transport suite: topologies and fault wrappers."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.netsim.network import Network
+from repro.transport.base import Transport
+from repro.transport.netsim import NetsimTransport, netsim_transport_pair
+
+
+def two_host_pair(seed: int = 0, conditions=None, recv_queue: int = 1024):
+    """A connected NetsimTransport pair over a fresh two-host segment."""
+    net = Network(seed=seed)
+    net.add_segment("lan", "10.50.0.0", conditions=conditions)
+    host_a = net.add_host("a", segment="lan")
+    host_b = net.add_host("b", segment="lan")
+    t_a, t_b = netsim_transport_pair(host_a, host_b, recv_queue=recv_queue)
+    return net, t_a, t_b
+
+
+class DropSends(Transport):
+    """A fault-injection wrapper: deterministically drops chosen sends.
+
+    ``drop_first`` swallows the first N sends (the zero-message-keying
+    first-contact hazard: the opening datagram vanishes and nothing but
+    silence tells the sender).  Everything else delegates to the wrapped
+    transport, so the wrapper composes with either substrate.
+    """
+
+    name = "drop-sends"
+
+    def __init__(self, inner: Transport, drop_first: int = 0) -> None:
+        super().__init__()
+        self.inner = inner
+        self.remaining = drop_first
+        self.dropped: List[bytes] = []
+
+    def now(self) -> float:
+        return self.inner.now()
+
+    async def send(self, payload: bytes) -> None:
+        if self.remaining > 0:
+            self.remaining -= 1
+            self.dropped.append(payload)
+            self.stats.datagrams_sent += 1
+            return
+        await self.inner.send(payload)
+        self.stats.datagrams_sent += 1
+
+    async def recv(self, timeout: Optional[float] = None) -> Optional[bytes]:
+        return await self.inner.recv(timeout)
+
+    async def close(self) -> None:
+        await self.inner.close()
+
+    async def sleep(self, seconds: float) -> None:
+        await self.inner.sleep(seconds)
+
+    def drain(self) -> List[bytes]:
+        return self.inner.drain()

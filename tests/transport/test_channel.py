@@ -1,0 +1,237 @@
+"""SecureChannel: protection, ledgers, and first-contact retry.
+
+The retry tests exercise the zero-message-keying hazard the channel
+exists to absorb: a lost opening datagram produces nothing but silence,
+so the sender re-protects and resends under jittered backoff.  Loss is
+injected two ways -- a deterministic send-dropping wrapper over real
+UDP, and seeded probabilistic loss on a simulated segment (where the
+whole retry dance runs in virtual time).
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.netsim.link import LinkConditions
+from repro.transport import RetryPolicy, UdpTransportConfig, channel_pair
+from repro.transport.channel import SecureChannel, _reject_reason
+from repro.transport.runner import build_udp_channels
+
+from tests.transport.helpers import DropSends, two_host_pair
+
+#: Fast real-time backoff so the UDP retry tests stay sub-second.
+FAST_RETRY = RetryPolicy(initial=0.01, cap=0.02, jitter=0.0, attempts=5)
+
+
+async def _echo_forever(server, timeout=0.05):
+    """Server loop for the UDP tests: unprotect, re-protect, echo."""
+    while True:
+        body = await server.recv(timeout)
+        if body is not None:
+            await server.send(body)
+
+
+class TestLedger:
+    def test_lossless_exchange_counts(self):
+        net, t_a, t_b = two_host_pair()
+        ch_a, ch_b = channel_pair(t_a, t_b, seed=5)
+
+        async def scenario():
+            await ch_a.send(b"first")
+            got = await ch_b.recv(timeout=2.0)
+            await ch_b.send(b"reply")
+            reply = await ch_a.recv(timeout=2.0)
+            return got, reply
+
+        got, reply = asyncio.run(scenario())
+        assert (got, reply) == (b"first", b"reply")
+        assert ch_a.ledger["sent"] == 1 and ch_a.ledger["accepted"] == 1
+        assert ch_b.ledger["sent"] == 1 and ch_b.ledger["accepted"] == 1
+        assert all(v == 0 for v in ch_a.ledger["rejected"].values())
+
+    def test_tampered_datagram_rejected_as_mac(self):
+        net, t_a, t_b = two_host_pair()
+        ch_a, ch_b = channel_pair(t_a, t_b, seed=5)
+
+        async def scenario():
+            wire = ch_a.endpoint.protect(b"genuine", ch_a.peer)
+            await t_a.send(wire[:-1] + bytes([wire[-1] ^ 1]))
+            return await ch_b.recv(timeout=2.0)
+
+        assert asyncio.run(scenario()) is None
+        assert ch_b.ledger["rejected"]["mac"] == 1
+        assert ch_b.ledger["accepted"] == 0
+
+    def test_garbage_rejected_as_header(self):
+        net, t_a, t_b = two_host_pair()
+        ch_a, ch_b = channel_pair(t_a, t_b, seed=5)
+
+        async def scenario():
+            await t_a.send(b"\x00\x01not an fbs datagram")
+            return await ch_b.recv(timeout=2.0)
+
+        assert asyncio.run(scenario()) is None
+        assert ch_b.ledger["rejected"]["header"] == 1
+
+    def test_ledger_dict_carries_transport_stats(self):
+        net, t_a, t_b = two_host_pair()
+        ch_a, ch_b = channel_pair(t_a, t_b, seed=5)
+        snapshot = ch_a.ledger_dict()
+        assert snapshot["transport"]["datagrams_sent"] == 0
+        assert set(snapshot) == {"sent", "accepted", "rejected", "transport"}
+
+    def test_reason_mapping_is_total(self):
+        from repro.core.errors import (
+            FBSError,
+            HeaderFormatError,
+            MacMismatchError,
+            ReceiveError,
+            StaleTimestampError,
+        )
+
+        assert _reject_reason(HeaderFormatError("x")) == "header"
+        assert _reject_reason(StaleTimestampError("x")) == "stale_timestamp"
+        assert _reject_reason(MacMismatchError("x")) == "mac"
+        assert _reject_reason(ReceiveError("x")) == "duplicate"
+        assert _reject_reason(FBSError("x")) == "keying"
+
+
+class TestRetryPolicy:
+    def test_backoff_doubles_to_the_cap(self):
+        policy = RetryPolicy(initial=0.1, cap=0.5, jitter=0.0, attempts=8)
+        rng = random.Random(0)
+        waits = [policy.backoff(i, rng) for i in range(5)]
+        assert waits == pytest.approx([0.1, 0.2, 0.4, 0.5, 0.5])
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(initial=0.1, cap=1.0, jitter=0.5, attempts=8)
+        rng = random.Random(1)
+        for attempt in range(6):
+            base = min(0.1 * 2 ** attempt, 1.0)
+            wait = policy.backoff(attempt, rng)
+            assert base * 0.5 <= wait <= base * 1.5
+
+    def test_jitter_is_seed_deterministic(self):
+        policy = RetryPolicy(jitter=0.5)
+        a = [policy.backoff(i, random.Random(9)) for i in range(4)]
+        b = [policy.backoff(i, random.Random(9)) for i in range(4)]
+        assert a == b
+
+
+class TestFirstContactRetryOverUdp:
+    def test_request_survives_dropped_first_contact(self):
+        async def scenario():
+            client, server = await build_udp_channels(seed=3, retry=FAST_RETRY)
+            lossy = DropSends(client.transport, drop_first=2)
+            lossy_client = SecureChannel(
+                client.endpoint, lossy, peer=client.peer,
+                retry=FAST_RETRY, seed=3,
+            )
+            echo = asyncio.ensure_future(_echo_forever(server))
+            try:
+                reply = await lossy_client.request(b"open sesame", timeout=0.1)
+            finally:
+                echo.cancel()
+            await lossy_client.close()
+            await server.close()
+            return reply, lossy_client.ledger["sent"], lossy.dropped
+
+        reply, sent, dropped = asyncio.run(scenario())
+        assert reply == b"open sesame"
+        assert sent == 3  # two vanished, the third connected
+        assert len(dropped) == 2
+
+    def test_request_returns_none_when_budget_spent(self):
+        async def scenario():
+            client, server = await build_udp_channels(seed=4, retry=FAST_RETRY)
+            black_hole = DropSends(client.transport, drop_first=10 ** 6)
+            doomed = SecureChannel(
+                client.endpoint, black_hole, peer=client.peer,
+                retry=FAST_RETRY, seed=4,
+            )
+            reply = await doomed.request(b"anyone?", timeout=0.02)
+            await doomed.close()
+            await server.close()
+            return reply, doomed.ledger["sent"]
+
+        reply, sent = asyncio.run(scenario())
+        assert reply is None
+        assert sent == FAST_RETRY.attempts
+
+    def test_every_retry_reprotects_with_fresh_timestamp(self):
+        # Each attempt runs the full protect path: the sender ledger and
+        # the endpoint's sent counter advance per retransmission, so a
+        # late duplicate can never be double-delivered (replay guard).
+        async def scenario():
+            client, server = await build_udp_channels(seed=6, retry=FAST_RETRY)
+            lossy = DropSends(client.transport, drop_first=1)
+            ch = SecureChannel(
+                client.endpoint, lossy, peer=client.peer,
+                retry=FAST_RETRY, seed=6,
+            )
+            echo = asyncio.ensure_future(_echo_forever(server))
+            try:
+                await ch.request(b"fresh", timeout=0.1)
+            finally:
+                echo.cancel()
+            protect_count = ch.ledger["sent"]
+            await ch.close()
+            await server.close()
+            return protect_count
+
+        assert asyncio.run(scenario()) == 2
+
+    def test_transport_config_retry_knobs_become_the_policy(self):
+        # Operators tune one object: with no explicit RetryPolicy the
+        # UdpTransportConfig retry_* knobs drive first contact.
+        async def scenario():
+            config = UdpTransportConfig(
+                retry_initial=0.11, retry_cap=0.22,
+                retry_jitter=0.0, retry_attempts=3,
+            )
+            client, server = await build_udp_channels(
+                seed=1, transport_config=config
+            )
+            policy = client.retry
+            await client.close()
+            await server.close()
+            return policy
+
+        policy = asyncio.run(scenario())
+        assert policy == RetryPolicy(
+            initial=0.11, cap=0.22, jitter=0.0, attempts=3
+        )
+
+
+class TestFirstContactRetryOverNetsim:
+    def test_retry_in_pure_virtual_time(self):
+        # Seeded probabilistic loss on the simulated segment; the whole
+        # backoff dance runs on the virtual clock, so this test is
+        # deterministic AND instant.
+        conditions = LinkConditions(loss_probability=0.4)
+        net, t_a, t_b = two_host_pair(seed=11, conditions=conditions)
+        policy = RetryPolicy(initial=0.5, cap=4.0, jitter=0.5, attempts=10)
+        ch_a, ch_b = channel_pair(t_a, t_b, seed=11, retry=policy)
+
+        async def scenario():
+            delivered = 0
+            for i in range(5):
+                payload = b"msg %d" % i
+                for attempt in range(policy.attempts):
+                    if attempt:
+                        await t_a.sleep(policy.backoff(attempt - 1, ch_a._rng))
+                    await ch_a.send(payload)
+                    got = await ch_b.recv(timeout=2.0)
+                    if got is not None:
+                        await ch_b.send(got)
+                    reply = await ch_a.recv(timeout=2.0)
+                    if reply == payload:
+                        delivered += 1
+                        break
+            return delivered
+
+        delivered = asyncio.run(scenario())
+        assert delivered == 5  # retries absorbed 40% loss
+        assert ch_a.ledger["sent"] > 5  # some exchanges needed resends
+        assert net.sim.now > 0.5  # backoff genuinely elapsed (virtually)
