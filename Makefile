@@ -6,7 +6,7 @@ PYTHON ?= python3
 # no editable install needed.
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test lint lint-docs lint-cache-bench obs-check resilience-smoke load-smoke transport-smoke bench bench-smoke examples reports clean
+.PHONY: install test lint lint-docs lint-cache-bench obs-check resilience-smoke load-smoke transport-smoke gateway-smoke bench bench-smoke examples reports clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -61,6 +61,15 @@ transport-smoke:
 	$(PYTHON) -m repro.transport --demo udp-echo --out /tmp/FBS_transport_a.json
 	$(PYTHON) -m repro.transport --demo udp-echo --out /tmp/FBS_transport_b.json
 	cmp /tmp/FBS_transport_a.json /tmp/FBS_transport_b.json
+
+# Multi-tenant gateway (CI tier): drive the seeded workload twice with
+# capacity eviction in play (--max-tenants below --tenants); fail on any
+# ledger/registry inconsistency (CLI exit 1) or on report
+# nondeterminism (cmp -- the report is ledger-only and byte-stable).
+gateway-smoke:
+	$(PYTHON) -m repro.gateway --tenants 6 --flows 2 --rounds 6 --max-tenants 4 --seed 0 --out /tmp/FBS_gateway_a.json
+	$(PYTHON) -m repro.gateway --tenants 6 --flows 2 --rounds 6 --max-tenants 4 --seed 0 --out /tmp/FBS_gateway_b.json
+	cmp /tmp/FBS_gateway_a.json /tmp/FBS_gateway_b.json
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

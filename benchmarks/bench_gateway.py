@@ -1,0 +1,324 @@
+"""Multi-tenant gateway under flow churn -> BENCH_gateway.json.
+
+The gateway tentpole's measurement: one ``FBSGateway`` terminating FBS
+for more tenants than its table holds (constant capacity eviction +
+re-keying) and more flows than the RFKC holds (constant cache churn),
+over the netsim substrate.  Three claims are gated, not just recorded:
+
+* **bounded memory under overload** -- with draining disabled, no
+  tenant queue ever exceeds ``queue_depth``; the excess shows up as
+  counted ``backpressure`` drops, never as growth;
+* **exact accounting** -- the admission ledger is consistent with the
+  registry counters to the unit (``check_registry`` returns nothing);
+* **byte-stable reports** -- the ``python -m repro.gateway`` workload
+  rendered twice with one seed is byte-identical.
+
+Throughput (sustained datagrams/sec through protect -> wire -> admit ->
+unprotect -> enqueue) and per-datagram service latency (p50/p99, wall
+clock around each serve step) are recorded for the history file.
+
+Results are *appended* to BENCH_gateway.json (one entry per
+invocation).  Runs two ways:
+
+* under pytest with the other benches (``make bench``), writing
+  ``benchmarks/reports/gateway_churn.txt``;
+* as a CLI -- ``python benchmarks/bench_gateway.py [--smoke]
+  [--json PATH]`` -- appending to ``BENCH_gateway.json``.
+"""
+
+import argparse
+import asyncio
+import json
+import os
+import pathlib
+import sys
+import time
+
+from repro.core.deploy import FBSDomain
+from repro.core.keying import Principal
+from repro.gateway.cli import render_report, run_gateway_workload
+from repro.gateway.server import FBSGateway
+from repro.gateway.tenants import GatewayConfig
+from repro.netsim.network import Network
+from repro.transport.netsim import NetsimTransport
+
+DEFAULT_JSON = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_gateway.json"
+)
+
+PAYLOAD = bytes(range(256))  # 256B datagram body
+GATEWAY_PORT = 9000
+TENANT_PORT_BASE = 5000
+
+
+def _build_site(seed, tenants, gw_config):
+    """One gateway + ``tenants`` enrolled peers on a simulated segment."""
+    net = Network(seed=seed)
+    net.add_segment("site", "10.66.0.0")
+    gw_host = net.add_host("gw", segment="site", address="10.66.0.1")
+    hosts = [
+        net.add_host(f"t{i}", segment="site", address=f"10.66.0.{10 + i}")
+        for i in range(tenants)
+    ]
+    gw_transport = NetsimTransport(gw_host, local_port=GATEWAY_PORT)
+    transports = [
+        NetsimTransport(
+            host,
+            local_port=TENANT_PORT_BASE + i,
+            remote=(gw_host.address, GATEWAY_PORT),
+        )
+        for i, host in enumerate(hosts)
+    ]
+    domain = FBSDomain(seed=seed)
+    gw_principal = Principal.from_name("gateway")
+    gw_endpoint = domain.make_endpoint(
+        gw_principal, now=gw_transport.now, sfl_seed=1
+    )
+    principals = [Principal.from_name(f"tenant-{i:02d}") for i in range(tenants)]
+    endpoints = [
+        domain.make_endpoint(principal, now=transport.now, sfl_seed=100 + i)
+        for i, (principal, transport) in enumerate(zip(principals, transports))
+    ]
+    directory = {
+        (str(hosts[i].address), TENANT_PORT_BASE + i): principals[i]
+        for i in range(tenants)
+    }
+    gateway = FBSGateway(
+        gw_endpoint,
+        gw_transport,
+        config=gw_config,
+        resolver=lambda addr: directory[tuple(addr)],
+    )
+    return gateway, gw_principal, endpoints, transports
+
+
+async def _churn_phase(seed, tenants, rounds, max_tenants):
+    """Sustained service under tenant churn; wall-clock rate + latency."""
+    gateway, gw_principal, endpoints, transports = _build_site(
+        seed, tenants, GatewayConfig(max_tenants=max_tenants, queue_depth=1 << 16)
+    )
+    perf = time.perf_counter
+    latencies = []
+    served = 0
+    start = perf()
+    for _ in range(rounds):
+        for i, endpoint in enumerate(endpoints):
+            data = endpoint.protect(PAYLOAD, gw_principal)
+            transports[i].send_sync(data)
+            t0 = perf()
+            outcome = await gateway.serve_once(5.0)
+            latencies.append(perf() - t0)
+            if outcome == "enqueued":
+                served += 1
+        gateway.drain()
+    elapsed = perf() - start
+    latencies.sort()
+    ledger = gateway.admission.ledger_dict()
+    registry = gateway.endpoint.registry
+    return {
+        "served": served,
+        "elapsed": elapsed,
+        "latencies": latencies,
+        "admitted": ledger["admitted"],
+        "evicted": ledger["evicted"]["capacity"],
+        "rekeys": registry.counter("flow_key_derivations", side="receive").value,
+        "consistency": gateway.admission.check_registry(),
+    }
+
+
+async def _overload_phase(seed, rounds, queue_depth):
+    """Draining disabled: queues must cap at ``queue_depth``, drops count."""
+    tenants = 2
+    gateway, gw_principal, endpoints, transports = _build_site(
+        seed + 1,
+        tenants,
+        GatewayConfig(max_tenants=tenants, queue_depth=queue_depth),
+    )
+    max_queued = 0
+    for _ in range(rounds):
+        for i, endpoint in enumerate(endpoints):
+            data = endpoint.protect(PAYLOAD, gw_principal)
+            transports[i].send_sync(data)
+            await gateway.serve_once(5.0)
+        max_queued = max(
+            max_queued,
+            max(len(t.queue) for t in gateway.tenants.by_name()),
+        )
+    ledger = gateway.admission.ledger_dict()
+    return {
+        "rounds": rounds,
+        "queue_depth": queue_depth,
+        "max_queued": max_queued,
+        "backpressure_drops": ledger["dropped"]["backpressure"],
+        "consistency": gateway.admission.check_registry(),
+    }
+
+
+def _percentile(samples, fraction):
+    """Nearest-rank percentile of a sorted sample list."""
+    if not samples:
+        return 0.0
+    rank = min(len(samples) - 1, int(fraction * len(samples)))
+    return samples[rank]
+
+
+async def _run(profile: str, seed: int) -> dict:
+    tenants = 8 if profile == "smoke" else 12
+    rounds = 8 if profile == "smoke" else 40
+    max_tenants = tenants // 2  # every round churns half the table
+    overload_rounds = 8 if profile == "smoke" else 24
+    queue_depth = 4
+
+    churn = await _churn_phase(seed, tenants, rounds, max_tenants)
+    overload = await _overload_phase(seed, overload_rounds, queue_depth)
+
+    # Byte-stability gate: the CLI workload rendered twice, one seed.
+    workload_args = dict(
+        tenants=4, flows=2, rounds=4, seed=seed, max_tenants=3
+    )
+    first = render_report(await run_gateway_workload(**workload_args))
+    second = render_report(await run_gateway_workload(**workload_args))
+
+    latencies = churn["latencies"]
+    entry = {
+        "profile": profile,
+        "seed": seed,
+        "payload_bytes": len(PAYLOAD),
+        "tenants": tenants,
+        "max_tenants": max_tenants,
+        "rounds": rounds,
+        "cpu_count": os.cpu_count(),
+        "python": "%d.%d.%d" % sys.version_info[:3],
+        "throughput": {
+            "datagrams": churn["served"],
+            "elapsed_s": round(churn["elapsed"], 4),
+            "datagrams_per_s": round(
+                churn["served"] / churn["elapsed"], 1
+            ) if churn["elapsed"] > 0 else 0.0,
+        },
+        "service_latency_ms": {
+            "p50": round(_percentile(latencies, 0.50) * 1e3, 4),
+            "p99": round(_percentile(latencies, 0.99) * 1e3, 4),
+        },
+        "churn": {
+            "tenants_admitted": churn["admitted"],
+            "tenants_evicted": churn["evicted"],
+            "receive_rekeys": churn["rekeys"],
+        },
+        "overload": {
+            "rounds": overload["rounds"],
+            "queue_depth": overload["queue_depth"],
+            "max_queued": overload["max_queued"],
+            "backpressure_drops": overload["backpressure_drops"],
+        },
+        "consistency": churn["consistency"] + overload["consistency"],
+        "report_byte_stable": first == second,
+    }
+    return entry
+
+
+def run_gateway_bench(profile: str = "full", seed: int = 0) -> dict:
+    return asyncio.run(_run(profile, seed))
+
+
+def check_results(entry: dict) -> None:
+    """Acceptance gates for one entry."""
+    overload = entry["overload"]
+    assert overload["max_queued"] <= overload["queue_depth"], (
+        f"queue grew to {overload['max_queued']} datagrams past the "
+        f"{overload['queue_depth']} bound -- backpressure is not bounding memory"
+    )
+    assert overload["backpressure_drops"] > 0, (
+        "overload produced no counted drops; the phase is not overloading"
+    )
+    assert entry["consistency"] == [], (
+        f"admission ledger drifted from the registry: {entry['consistency']}"
+    )
+    assert entry["report_byte_stable"], (
+        "the gateway workload report is not byte-stable across runs of one seed"
+    )
+    churn = entry["churn"]
+    assert churn["tenants_evicted"] > 0, (
+        "the churn phase never evicted; max_tenants must undercut tenants"
+    )
+    assert entry["throughput"]["datagrams_per_s"] > 0, "no throughput recorded"
+    latency = entry["service_latency_ms"]
+    assert latency["p99"] >= latency["p50"] > 0, (
+        "latency percentiles are not ordered"
+    )
+
+
+def render_bench_report(entry: dict) -> str:
+    throughput = entry["throughput"]
+    latency = entry["service_latency_ms"]
+    churn = entry["churn"]
+    overload = entry["overload"]
+    return "\n".join([
+        f"gateway under flow churn ({entry['profile']}): "
+        f"{entry['tenants']} tenants over a {entry['max_tenants']}-slot "
+        f"table, {entry['rounds']} rounds, {entry['payload_bytes']}B "
+        f"payloads, seed {entry['seed']}",
+        "",
+        f"  sustained: {throughput['datagrams_per_s']:.1f} datagrams/s "
+        f"({throughput['datagrams']} served in {throughput['elapsed_s']}s)",
+        f"  service latency: p50 {latency['p50']:.4f} ms, "
+        f"p99 {latency['p99']:.4f} ms",
+        f"  churn: {churn['tenants_admitted']} admissions, "
+        f"{churn['tenants_evicted']} capacity evictions, "
+        f"{churn['receive_rekeys']} receive-side re-keys",
+        f"  overload: queues capped at {overload['max_queued']}/"
+        f"{overload['queue_depth']} with {overload['backpressure_drops']} "
+        f"counted backpressure drops",
+        "",
+        "  ledger/registry consistency: exact; report byte-stability: "
+        + ("ok" if entry["report_byte_stable"] else "BROKEN"),
+    ])
+
+
+def append_entry(path: pathlib.Path, entry: dict) -> dict:
+    """Append one run to the history file; returns the full document."""
+    if path.exists():
+        document = json.loads(path.read_text())
+    else:
+        document = {"bench_version": 1, "runs": []}
+    document["runs"].append(entry)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return document
+
+
+def test_gateway_churn(benchmark, report_writer):
+    entry = benchmark.pedantic(
+        run_gateway_bench, kwargs={"profile": "smoke"}, rounds=1, iterations=1
+    )
+    report_writer("gateway_churn", render_bench_report(entry))
+    check_results(entry)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="8 tenants x 8 rounds (CI); percentiles are noisier",
+    )
+    parser.add_argument(
+        "--json",
+        type=pathlib.Path,
+        default=DEFAULT_JSON,
+        metavar="PATH",
+        help=f"history file to append to (default: {DEFAULT_JSON})",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    entry = run_gateway_bench(
+        profile="smoke" if args.smoke else "full", seed=args.seed
+    )
+    check_results(entry)
+    append_entry(args.json, entry)
+    print(render_bench_report(entry))
+    print(f"\nappended to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -69,6 +69,7 @@ _REPORT_ZONE = (
     "repro.obs",
     "repro.analysis",
     "repro.transport",
+    "repro.gateway",
 )
 
 #: Modules forming the receive datapath (FBS006 v2 roots; raises inside

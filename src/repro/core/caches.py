@@ -181,6 +181,26 @@ class DirectMappedCache(Generic[V]):
         if entry is not None and entry[0] == key:
             self._slots[slot] = None
 
+    def evict(self, key: bytes) -> bool:
+        """Deliberately displace ``key``; returns whether it was live.
+
+        Unlike :meth:`invalidate` (a correctness operation: the entry is
+        *wrong*), eviction is a pressure operation: the entry is valid
+        but its space is wanted.  It therefore counts in
+        ``stats.evictions`` and emits :class:`CacheEvicted`, exactly
+        like a displacement by :meth:`put`.
+        """
+        slot = self._hash.index(key, self.capacity)
+        entry = self._slots[slot]
+        if entry is None or entry[0] != key:
+            return False
+        self._slots[slot] = None
+        self.stats.evictions += 1
+        tr = self.tracer
+        if tr.enabled and self.trace_name:
+            tr.emit(CacheEvicted(cache=self.trace_name))
+        return True
+
     def flush(self) -> None:
         """Drop all entries (soft state)."""
         self._slots = [None] * self.capacity
@@ -267,6 +287,23 @@ class AssociativeCache(Generic[V]):
     def invalidate(self, key: bytes) -> None:
         """Remove ``key`` if present."""
         self._set_for(key).pop(key, None)
+
+    def evict(self, key: bytes) -> bool:
+        """Deliberately displace ``key``; returns whether it was live.
+
+        Counted and traced like a :meth:`put` displacement (see
+        :meth:`DirectMappedCache.evict` for the invalidate/evict
+        distinction).
+        """
+        bucket = self._set_for(key)
+        if key not in bucket:
+            return False
+        del bucket[key]
+        self.stats.evictions += 1
+        tr = self.tracer
+        if tr.enabled and self.trace_name:
+            tr.emit(CacheEvicted(cache=self.trace_name))
+        return True
 
     def flush(self) -> None:
         """Drop all entries (soft state)."""
@@ -371,6 +408,10 @@ class FlowKeyCache:
         self._cache.put(self._key(sfl, destination, source), entry)
         return entry
 
+    def evict_flow(self, sfl: int, destination: bytes, source: bytes) -> bool:
+        """Reclaim one flow's entry under cache pressure (counted)."""
+        return self._cache.evict(self._key(sfl, destination, source))
+
     def flush(self) -> None:
         self._cache.flush()
 
@@ -413,6 +454,10 @@ class MasterKeyCache:
     def invalidate(self, principal_id: bytes) -> None:
         """Drop a peer's master key (e.g. on private-value change)."""
         self._cache.invalidate(principal_id)
+
+    def evict(self, principal_id: bytes) -> bool:
+        """Reclaim a peer's master key under cache pressure (counted)."""
+        return self._cache.evict(principal_id)
 
     def flush(self) -> None:
         self._cache.flush()
@@ -467,6 +512,16 @@ class PublicValueCache:
         """Pin a certificate "in the cache upon initialization"
         (the paper's alternative to the secure flow bypass)."""
         self._pinned[principal_id] = certificate
+
+    def evict(self, principal_id: bytes) -> bool:
+        """Reclaim a peer's certificate under cache pressure (counted).
+
+        Pinned certificates are exempt: pinning exists precisely so an
+        entry survives pressure.
+        """
+        if principal_id in self._pinned:
+            return False
+        return self._cache.evict(principal_id)
 
     def flush(self) -> None:
         """Drop non-pinned entries."""

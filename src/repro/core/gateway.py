@@ -146,20 +146,34 @@ class FBSGatewayTunnel:
 
     # -- decapsulation (tunnel arrivals addressed to this gateway) --------------------
 
-    def _charge_crypto(self, payload_bytes: int) -> None:
+    def _charge_crypto(self, payload_bytes: int, receive: bool = False) -> None:
         """Gateway CPU pays for the crypto pass (on top of the generic
-        forwarding costs the host already charges per frame)."""
+        forwarding costs the host already charges per frame).
+
+        Encapsulation charges encrypt+MAC minus the generic *send* cost;
+        decapsulation charges decrypt+verify minus the generic *receive*
+        cost (``fbs_crypto`` prices both directions identically -- DES
+        and the MAC run at the same per-byte rate either way -- but the
+        generic baseline being subtracted must match the side the host
+        already charged for).
+        """
         model = self.host.cost_model
+        if receive:
+            baseline = model.generic_receive(payload_bytes)
+        else:
+            baseline = model.generic_send(payload_bytes)
         extra = max(
             0.0,
-            model.fbs_crypto(payload_bytes, encrypt=True, mac=True)
-            - model.generic_send(payload_bytes),
+            model.fbs_crypto(payload_bytes, encrypt=True, mac=True) - baseline,
         )
         self.host.charge_cpu(extra)
 
     def _tunnel_input(self, packet: IPv4Packet) -> None:
         source = Principal.from_ip(packet.header.src)
-        self._charge_crypto(max(0, len(packet.payload) - self.endpoint.header_size))
+        self._charge_crypto(
+            max(0, len(packet.payload) - self.endpoint.header_size),
+            receive=True,
+        )
         try:
             inner_bytes = self.endpoint.unprotect(
                 packet.payload, source, secret=True

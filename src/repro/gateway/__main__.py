@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.gateway`` (see :mod:`repro.gateway.cli`)."""
+
+import sys
+
+from repro.gateway.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

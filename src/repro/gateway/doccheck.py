@@ -1,0 +1,45 @@
+"""Docs-vs-code sync for the gateway operator guide.
+
+``docs/DEPLOYMENT.md`` carries the multi-tenant gateway's operator
+section; this check keeps it honest the same way the transport section
+is kept honest: every :class:`~repro.gateway.tenants.GatewayConfig`
+field and every admission drop/eviction reason must appear in backticks
+in the guide.  Wired into ``python -m repro.obs check-docs`` (imported
+lazily there: obs never imports upward eagerly).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import re
+from typing import List
+
+from repro.gateway.admission import DROP_REASONS, EVICTION_REASONS
+from repro.gateway.tenants import GatewayConfig
+
+__all__ = ["check_gateway_doc"]
+
+_BACKTICKED = re.compile(r"`([^`\n]+)`")
+
+
+def check_gateway_doc(doc_path: str) -> List[str]:
+    """Problems with the gateway operator section (empty = in sync)."""
+    problems: List[str] = []
+    if not os.path.isfile(doc_path):
+        return [f"{doc_path}: missing"]
+    with open(doc_path, "r", encoding="utf-8") as fp:
+        text = fp.read()
+    mentioned = set(_BACKTICKED.findall(text))
+    for field in dataclasses.fields(GatewayConfig):
+        if field.name not in mentioned:
+            problems.append(
+                f"{doc_path}: GatewayConfig knob `{field.name}` "
+                f"is not documented"
+            )
+    for reason in DROP_REASONS + EVICTION_REASONS:
+        if reason not in mentioned:
+            problems.append(
+                f"{doc_path}: gateway reason `{reason}` is not documented"
+            )
+    return problems

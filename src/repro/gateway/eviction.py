@@ -1,0 +1,48 @@
+"""Cache-pressure-aware reclamation of an evicted tenant's footprint.
+
+Turning a tenant out of the table without touching the key caches would
+leave its flow keys and master key squatting in the PVC/MKC/TFKC/RFKC,
+exactly the space pressure the eviction was supposed to relieve -- cold
+tenants' flow state goes first.  This module walks the tenant's known
+footprint and reclaims it through the caches' accountable ``evict``
+paths, so every displaced entry increments ``stats.evictions`` and
+emits the existing :class:`~repro.obs.events.CacheEvicted` event (the
+registry collectors then pick the counts up for free).
+
+Soft-state semantics make this always safe: if the tenant returns, its
+next datagram re-derives everything through the normal miss path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.protocol import FBSEndpoint
+from repro.gateway.tenants import TenantState
+
+__all__ = ["evict_tenant_footprint"]
+
+
+def evict_tenant_footprint(
+    endpoint: FBSEndpoint, tenant: TenantState
+) -> Dict[str, int]:
+    """Reclaim ``tenant``'s entries across all four key caches.
+
+    Returns reclaimed-entry counts per cache level.  Flow labels are
+    walked in sorted order so the emitted event sequence is
+    deterministic.
+    """
+    reclaimed = {"PVC": 0, "MKC": 0, "TFKC": 0, "RFKC": 0}
+    peer = tenant.principal.wire_id
+    me = endpoint.principal.wire_id
+    for sfl in sorted(tenant.flows):
+        # Receive side keys by (sfl, local, remote); send side mirrors.
+        if endpoint.rfkc.evict_flow(sfl, me, peer):
+            reclaimed["RFKC"] += 1
+        if endpoint.tfkc.evict_flow(sfl, peer, me):
+            reclaimed["TFKC"] += 1
+    if endpoint.mkd.mkc.evict(peer):
+        reclaimed["MKC"] += 1
+    if endpoint.mkd.pvc.evict(peer):
+        reclaimed["PVC"] += 1
+    return reclaimed

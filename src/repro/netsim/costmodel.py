@@ -27,6 +27,7 @@ All costs are in seconds; all sizes in bytes.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional
 
 __all__ = ["CostModel", "PENTIUM_133", "FREE_CPU"]
 
@@ -69,14 +70,30 @@ class CostModel:
     #: Whether the crypto pass is folded into the copy/checksum pass
     #: (Section 5.3's single-pass optimization).
     integrated_crypto: bool = True
+    #: Fixed per-packet cost on the *receive* path, when it differs from
+    #: the send path (interrupt handling vs syscall entry).  ``None``
+    #: keeps the calibrated symmetric model: receive == send.
+    per_packet_receive: Optional[float] = None
 
     def generic_send(self, payload_bytes: int) -> float:
         """CPU time to send one plain (GENERIC) datagram."""
         return self.per_packet + self.per_byte_touch * payload_bytes
 
     def generic_receive(self, payload_bytes: int) -> float:
-        """CPU time to receive one plain datagram (symmetric model)."""
-        return self.generic_send(payload_bytes)
+        """CPU time to receive one plain datagram.
+
+        Symmetric with :meth:`generic_send` unless ``per_packet_receive``
+        overrides the fixed cost -- receive-side consumers (the gateway
+        decapsulation path, ``frame_arrived``) must charge through this
+        method, never through ``generic_send``, so an asymmetric model
+        lands on the right side.
+        """
+        per_packet = (
+            self.per_packet
+            if self.per_packet_receive is None
+            else self.per_packet_receive
+        )
+        return per_packet + self.per_byte_touch * payload_bytes
 
     def fbs_nop(self, payload_bytes: int) -> float:
         """CPU time for FBS processing with nullified crypto."""

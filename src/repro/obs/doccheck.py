@@ -98,13 +98,14 @@ def run_doc_checks(root: str) -> List[str]:
     """All documentation checks for a repo root; empty means clean."""
     doc_path = os.path.join(root, "docs", "OBSERVABILITY.md")
     problems = check_observability_doc(doc_path)
-    # Lazy import: obs sits below transport in the layering and must not
-    # pull it in eagerly; check-docs is an offline CLI path.
+    # Lazy imports: obs sits below transport and gateway in the layering
+    # and must not pull them in eagerly; check-docs is an offline CLI path.
+    from repro.gateway.doccheck import check_gateway_doc
     from repro.transport.doccheck import check_deployment_doc
 
-    problems.extend(
-        check_deployment_doc(os.path.join(root, "docs", "DEPLOYMENT.md"))
-    )
+    deployment = os.path.join(root, "docs", "DEPLOYMENT.md")
+    problems.extend(check_deployment_doc(deployment))
+    problems.extend(check_gateway_doc(deployment))
     problems.extend(
         check_markdown_links(default_markdown_files(root), root)
     )

@@ -44,6 +44,8 @@ __all__ = [
     "DatagramRejected",
     "ReplayDropped",
     "SoftStateFlushed",
+    "TenantAdmitted",
+    "TenantEvicted",
     "EVENT_TYPES",
     "REJECTION_REASONS",
     "CACHE_LEVELS",
@@ -188,6 +190,34 @@ class SoftStateFlushed(Event):
     t: float = 0.0
 
 
+@dataclass
+class TenantAdmitted(Event):
+    """The gateway admitted a previously unknown peer as a tenant.
+
+    ``peer`` is the tenant's stable display name (never an address or
+    key material); admission precedes the zero-message keying work the
+    tenant's first datagram triggers.
+    """
+
+    peer: str
+    t: float = 0.0
+
+
+@dataclass
+class TenantEvicted(Event):
+    """The gateway expelled a tenant to admit another under pressure.
+
+    The eviction also reclaims the tenant's footprint across all four
+    key caches, so it is normally followed by :class:`CacheEvicted`
+    marks.  ``reason`` is currently always ``capacity`` (the tenant
+    table was full and this peer was the coldest).
+    """
+
+    peer: str
+    reason: str
+    t: float = 0.0
+
+
 #: Every concrete event class, in datapath order.  The operator's guide
 #: (docs/OBSERVABILITY.md) must enumerate exactly these names; a test
 #: diffs the two.
@@ -203,6 +233,8 @@ EVENT_TYPES: Tuple[Type[Event], ...] = (
     DatagramRejected,
     ReplayDropped,
     SoftStateFlushed,
+    TenantAdmitted,
+    TenantEvicted,
 )
 
 _BY_NAME: Dict[str, Type[Event]] = {cls.__name__: cls for cls in EVENT_TYPES}

@@ -453,6 +453,28 @@ METRIC_CATALOG: Dict[str, MetricSpec] = {
     "host_cpu_seconds": MetricSpec(
         "gauge", (), "total CPU seconds the owning netsim host has charged"
     ),
+    "gateway_tenants_admitted": MetricSpec(
+        "counter", (), "peers admitted as gateway tenants (first contact)"
+    ),
+    "gateway_tenants_evicted": MetricSpec(
+        "counter",
+        ("reason",),
+        "tenants expelled by the gateway (capacity: table full, coldest "
+        "tenant reclaimed along with its cache footprint)",
+    ),
+    "gateway_datagrams_dropped": MetricSpec(
+        "counter",
+        ("reason",),
+        "datagrams the gateway dropped before protocol processing "
+        "(admission: tenant table full with eviction disabled; "
+        "backpressure: the tenant's bounded queue was full)",
+    ),
+    "gateway_active_tenants": MetricSpec(
+        "gauge", (), "tenants currently resident in the gateway table"
+    ),
+    "gateway_queue_depth": MetricSpec(
+        "gauge", (), "datagrams queued across all tenant queues at snapshot"
+    ),
 }
 
 

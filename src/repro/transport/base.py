@@ -28,7 +28,7 @@ raising :class:`TransportError`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.core.errors import FBSError
 
@@ -112,6 +112,18 @@ class Transport:
             f"{self.name} transport is event-loop only; use 'await sleep()'"
         )
 
+    def send_to_sync(self, payload: bytes, addr: Tuple[str, int]) -> None:
+        raise TransportError(
+            f"{self.name} transport is event-loop only; use 'await send_to()'"
+        )
+
+    def recv_from_sync(
+        self, timeout: Optional[float] = None
+    ) -> Optional[Tuple[bytes, Tuple[str, int]]]:
+        raise TransportError(
+            f"{self.name} transport is event-loop only; use 'await recv_from()'"
+        )
+
     # -- async surface ---------------------------------------------------------
     #
     # Default wrappers delegate to the sync implementations and complete
@@ -137,6 +149,28 @@ class Transport:
         goes through this so the same retry logic runs over simulated
         and real time."""
         self.sleep_sync(seconds)
+
+    # -- addressed (unconnected) surface ---------------------------------------
+    #
+    # A server transport talks to *many* peers: it needs to know where a
+    # datagram came from and to answer that exact address.  Addresses are
+    # substrate tokens -- ``(host_string, port)`` tuples whose only
+    # contract is that answering ``send_to(reply, addr)`` reaches whoever
+    # ``recv_from`` attributed ``addr`` to.  The connected send/recv
+    # surface above stays primary; substrates that cannot demultiplex
+    # leave these raising :class:`TransportError`.
+
+    async def send_to(self, payload: bytes, addr: Tuple[str, int]) -> None:
+        """Send one datagram to an explicit peer address."""
+        self.send_to_sync(payload, addr)
+
+    async def recv_from(
+        self, timeout: Optional[float] = None
+    ) -> Optional[Tuple[bytes, Tuple[str, int]]]:
+        """Receive one datagram with its source address, or ``None`` on
+        timeout.  The address can be handed straight back to
+        :meth:`send_to`."""
+        return self.recv_from_sync(timeout)
 
     # -- bookkeeping -----------------------------------------------------------
 

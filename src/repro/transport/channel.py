@@ -58,7 +58,9 @@ class RetryPolicy:
 
     Attempt ``i`` (0-based) waits ``min(initial * 2**i, cap)`` seconds,
     then scales that wait by a uniform factor in ``[1 - jitter, 1 +
-    jitter]`` so synchronized senders do not retry in lockstep.
+    jitter]`` so synchronized senders do not retry in lockstep.  The
+    jittered wait is clamped back to ``cap``: the cap is a ceiling on
+    any single backoff, jitter included.
     """
 
     #: Backoff before the first retransmission, seconds.
@@ -74,7 +76,8 @@ class RetryPolicy:
         base = min(self.initial * (2.0 ** attempt), self.cap)
         if self.jitter <= 0:
             return base
-        return base * rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
+        jittered = base * rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
+        return min(jittered, self.cap)
 
 
 def _reject_reason(exc: FBSError) -> str:
@@ -156,15 +159,29 @@ class SecureChannel:
         re-protects the body (fresh timestamp) and resends after a
         jittered backoff.  Returns the first accepted reply, or ``None``
         once the attempt budget is spent.
+
+        Within one attempt the *whole* timeout window is drained: a
+        rejected arrival (a duplicate straggler, a corrupted datagram)
+        returns early from :meth:`recv` but is not silence -- the
+        genuine reply may still be in flight, so the attempt keeps
+        listening for the remainder of its window instead of burning
+        the attempt and resending immediately.
         """
         policy = retry or self.retry
+        now = self.transport.now
         for attempt in range(max(1, policy.attempts)):
             if attempt:
                 await self.transport.sleep(policy.backoff(attempt - 1, self._rng))
             await self.send(body)
-            reply = await self.recv(timeout)
-            if reply is not None:
-                return reply
+            deadline = now() + timeout
+            remaining = timeout
+            while True:
+                reply = await self.recv(remaining)
+                if reply is not None:
+                    return reply
+                remaining = deadline - now()
+                if remaining <= 0:
+                    break
         return None
 
     async def close(self) -> None:

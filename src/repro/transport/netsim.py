@@ -50,7 +50,9 @@ class NetsimTransport(Transport):
         self.host = host
         self.local_port = host.udp.bind(local_port, self._on_datagram)
         self.remote = remote
-        self._queue: Deque[bytes] = deque()
+        #: (payload, (source_ip_string, source_port)) -- the address is
+        #: the substrate token the addressed surface hands back out.
+        self._queue: Deque[Tuple[bytes, Tuple[str, int]]] = deque()
         self._maxsize = recv_queue
 
     # -- plumbing --------------------------------------------------------------
@@ -60,7 +62,7 @@ class NetsimTransport(Transport):
             self.stats.queue_drops += 1
             return
         self.stats.datagrams_received += 1
-        self._queue.append(payload)
+        self._queue.append((payload, (str(src), sport)))
 
     def connect(self, remote: Tuple[IPAddress, int]) -> None:
         """Set (or re-set) the peer this transport sends to."""
@@ -85,6 +87,12 @@ class NetsimTransport(Transport):
         self.stats.datagrams_sent += 1
 
     def recv_sync(self, timeout: Optional[float] = None) -> Optional[bytes]:
+        arrival = self.recv_from_sync(timeout)
+        return arrival[0] if arrival is not None else None
+
+    def recv_from_sync(
+        self, timeout: Optional[float] = None
+    ) -> Optional[Tuple[bytes, Tuple[str, int]]]:
         # The simulator is this substrate's event loop: advance it one
         # event at a time so we stop the instant our binding fires, and
         # never execute an event scheduled past the virtual deadline (a
@@ -107,6 +115,12 @@ class NetsimTransport(Transport):
                 sentinel.cancel()
         return self._queue.popleft() if self._queue else None
 
+    def send_to_sync(self, payload: bytes, addr: Tuple[str, int]) -> None:
+        if self._closed:
+            raise TransportClosedError(f"send on closed {self.name} transport")
+        self.host.udp.sendto(payload, self.local_port, IPAddress(addr[0]), addr[1])
+        self.stats.datagrams_sent += 1
+
     def close_sync(self) -> None:
         if self._closed:
             return
@@ -117,7 +131,7 @@ class NetsimTransport(Transport):
         self.host.sim.run(until=self.host.sim.now + seconds)
 
     def drain(self) -> List[bytes]:
-        out = list(self._queue)
+        out = [payload for payload, _addr in self._queue]
         self._queue.clear()
         return out
 

@@ -82,7 +82,7 @@ class _DatagramQueueProtocol(asyncio.DatagramProtocol):
             owner.stats.queue_drops += 1
             return
         owner.stats.datagrams_received += 1
-        queue.put_nowait(data)
+        queue.put_nowait((data, addr))
         if owner.remote is None:
             # First contact from an unknown peer: adopt it, so a passive
             # responder (the echo server) can answer without out-of-band
@@ -161,6 +161,12 @@ class UdpTransport(Transport):
         self.stats.datagrams_sent += 1
 
     async def recv(self, timeout: Optional[float] = None) -> Optional[bytes]:
+        arrival = await self.recv_from(timeout)
+        return arrival[0] if arrival is not None else None
+
+    async def recv_from(
+        self, timeout: Optional[float] = None
+    ) -> Optional[Tuple[bytes, Tuple[str, int]]]:
         if timeout is None:
             timeout = self.config.recv_timeout
         if self._closed and self._queue.empty():
@@ -169,6 +175,12 @@ class UdpTransport(Transport):
             return await asyncio.wait_for(self._queue.get(), timeout)
         except asyncio.TimeoutError:
             return None
+
+    async def send_to(self, payload: bytes, addr: Tuple[str, int]) -> None:
+        if self._closed or self._transport is None:
+            raise TransportClosedError("send on closed udp transport")
+        self._transport.sendto(payload, addr)
+        self.stats.datagrams_sent += 1
 
     async def close(self) -> None:
         """Graceful shutdown: flush buffered sends, tear down the socket.
@@ -195,5 +207,5 @@ class UdpTransport(Transport):
     def drain(self) -> List[bytes]:
         out: List[bytes] = []
         while not self._queue.empty():
-            out.append(self._queue.get_nowait())
+            out.append(self._queue.get_nowait()[0])
         return out

@@ -1,0 +1,31 @@
+"""Violating fixture for FBS010 in gateway-shaped async code.
+
+A gateway serve loop must never block the event loop: no ``time.sleep``
+between polls, no synchronous report writes from the loop, directly or
+through a helper -- every tenant shares this one loop, so one blocking
+call stalls all of them.
+"""
+
+# fbslint: module=repro.gateway.server
+import time
+
+
+def _throttle(interval):
+    # Only a problem once an async function reaches it.
+    time.sleep(interval)
+
+
+async def serve_once(transport, table, timeout):
+    _throttle(0.01)  # blocking pacing hidden one call away
+    return await transport.recv_from(timeout)
+
+
+async def serve(transport, table, rounds):
+    for _ in range(rounds):
+        time.sleep(0.01)  # blocking inter-round pacing
+        await serve_once(transport, table, 0.05)
+
+
+async def snapshot_report(registry, path):
+    with open(path, "w") as fh:  # sync file I/O on the serve loop
+        fh.write(str(registry.snapshot()))

@@ -1,0 +1,32 @@
+"""Compliant fixture for FBS010 over the gateway's async serve loop.
+
+The serve loop's only wait is the awaited addressed receive; the
+demultiplex work it fans into is synchronous CPU work, which is fine --
+FBS010 bans *blocking waits*, not computation.  This is the shape
+``repro.gateway.server`` itself must keep.
+"""
+
+# fbslint: module=repro.gateway.server
+
+
+def _demux(table, payload, addr):
+    tenant = table.get(addr)
+    if tenant is not None:
+        tenant.queue.append(payload)
+    return tenant
+
+
+async def serve_once(transport, table, timeout):
+    arrival = await transport.recv_from(timeout)
+    if arrival is None:
+        return None
+    payload, addr = arrival
+    return _demux(table, payload, addr)
+
+
+async def serve(transport, table, rounds, timeout):
+    handled = 0
+    for _ in range(rounds):
+        if await serve_once(transport, table, timeout) is not None:
+            handled += 1
+    return handled

@@ -1,0 +1,66 @@
+"""The admission controller's double-entry accounting."""
+
+from repro.gateway.admission import (
+    AdmissionController,
+    DROP_REASONS,
+    EVICTION_REASONS,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+class TestDoubleEntry:
+    def test_every_outcome_moves_ledger_and_registry_together(self):
+        reg = MetricsRegistry()
+        admission = AdmissionController(reg)
+        admission.admitted()
+        admission.evicted("capacity")
+        admission.dropped("backpressure")
+        admission.dropped("evicted", 3)
+        ledger = admission.ledger_dict()
+        assert ledger["admitted"] == 1
+        assert ledger["evicted"]["capacity"] == 1
+        assert ledger["dropped"] == {
+            "admission": 0,
+            "backpressure": 1,
+            "evicted": 3,
+        }
+        assert reg.sum_counter("gateway_tenants_admitted") == 1
+        assert reg.sum_counter("gateway_tenants_evicted") == 1
+        assert reg.sum_counter("gateway_datagrams_dropped") == 4
+
+    def test_ledger_dict_is_a_copy(self):
+        admission = AdmissionController(MetricsRegistry())
+        ledger = admission.ledger_dict()
+        ledger["dropped"]["admission"] = 99
+        assert admission.ledger_dict()["dropped"]["admission"] == 0
+
+    def test_reason_vocabularies_are_closed(self):
+        assert DROP_REASONS == ("admission", "backpressure", "evicted")
+        assert EVICTION_REASONS == ("capacity",)
+
+
+class TestCheckRegistry:
+    def test_consistent_controller_reports_nothing(self):
+        reg = MetricsRegistry()
+        admission = AdmissionController(reg)
+        admission.admitted()
+        admission.dropped("admission")
+        # enqueued mirrors the endpoint's datagrams_accepted counter.
+        admission.enqueued()
+        reg.counter("datagrams_accepted").inc()
+        assert admission.check_registry() == []
+
+    def test_registry_drift_is_named(self):
+        reg = MetricsRegistry()
+        admission = AdmissionController(reg)
+        # Simulate a bypassing code path that bumps the counter only.
+        reg.counter("gateway_tenants_admitted").inc()
+        problems = admission.check_registry()
+        assert any("admitted" in p for p in problems)
+
+    def test_enqueued_must_match_datagrams_accepted(self):
+        reg = MetricsRegistry()
+        admission = AdmissionController(reg)
+        admission.enqueued()
+        problems = admission.check_registry()
+        assert any("enqueued" in p for p in problems)

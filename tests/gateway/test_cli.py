@@ -1,0 +1,86 @@
+"""``python -m repro.gateway``: flags, reports, exit codes, sharding."""
+
+import asyncio
+import json
+
+from repro.gateway.cli import _plan_shards, main, run_gateway_workload
+
+
+class TestWorkloadCli:
+    def test_netsim_report_is_byte_stable(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        args = ["--tenants", "4", "--flows", "2", "--rounds", "4"]
+        assert main(args + ["--out", str(a)]) == 0
+        assert main(args + ["--out", str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_udp_round_trips(self, tmp_path, capsys):
+        out = tmp_path / "udp.json"
+        assert main([
+            "--transport", "udp", "--tenants", "3", "--flows", "1",
+            "--rounds", "3", "--out", str(out),
+        ]) == 0
+        report = json.loads(out.read_text())
+        assert report["substrate"] == "udp"
+        assert report["consistency"] == []
+        assert "enqueued" in capsys.readouterr().err
+
+    def test_report_to_stdout_by_default(self, capsys):
+        assert main(["--tenants", "2", "--flows", "1", "--rounds", "2"]) == 0
+        captured = capsys.readouterr()
+        report = json.loads(captured.out)
+        assert report["workload"] == "gateway"
+        assert json.dumps(report, indent=2, sort_keys=True) + "\n" == captured.out
+
+    def test_bad_substrate_is_usage_error(self, capsys):
+        assert main(["--transport", "pigeon"]) == 2
+
+    def test_default_capacity_exercises_eviction(self, capsys):
+        # The default --max-tenants (4) is below the default --tenants
+        # (6), so a plain run must show capacity evictions.
+        assert main(["--rounds", "3"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        total_evicted = sum(
+            shard["admission"]["evicted"]["capacity"]
+            for shard in report["per_shard"]
+        )
+        assert total_evicted > 0
+        assert report["registry"]["counters"]["cache_evictions{cache=MKC}"] > 0
+
+    def test_overload_is_bounded_and_counted(self, capsys):
+        assert main([
+            "--tenants", "2", "--flows", "1", "--rounds", "8",
+            "--max-tenants", "2", "--queue-depth", "3", "--drain-every", "0",
+        ]) == 0
+        report = json.loads(capsys.readouterr().out)
+        (shard,) = report["per_shard"]
+        for summary in shard["tenants"].values():
+            assert summary["queued"] <= 3
+        dropped = shard["admission"]["dropped"]["backpressure"]
+        assert dropped == 2 * (8 - 3)
+
+
+class TestSharding:
+    def test_plan_covers_every_pair_exactly_once(self):
+        plan = _plan_shards(tenants=5, flows=3, shards=4)
+        pairs = [
+            (tenant, flow)
+            for entries in plan
+            for tenant, flow, _ft in entries
+        ]
+        assert sorted(pairs) == [
+            (t, f) for t in range(5) for f in range(3)
+        ]
+
+    def test_sharded_run_merges_consistently(self):
+        report = asyncio.run(
+            run_gateway_workload(
+                tenants=4, flows=2, rounds=3, shards=3, max_tenants=3
+            )
+        )
+        assert report["consistency"] == []
+        total = sum(
+            shard["admission"]["enqueued"] for shard in report["per_shard"]
+        )
+        assert report["registry"]["counters"]["datagrams_accepted"] == total
+        assert report["outcomes"].get("enqueued", 0) <= 4 * 2 * 3

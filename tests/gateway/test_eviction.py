@@ -1,0 +1,55 @@
+"""Cache-pressure-aware reclamation of an evicted tenant's footprint."""
+
+from repro.gateway.eviction import evict_tenant_footprint
+
+from tests.gateway.helpers import gateway_site, send_protected, serve_one
+
+
+def warm_tenant(site, tenant=0):
+    """One served datagram: RFKC + MKC + PVC entries exist on the gateway."""
+    send_protected(site, tenant, b"warmup")
+    assert serve_one(site) == "enqueued"
+    return site.gateway.tenants.by_name()[0]
+
+
+class TestFootprintReclamation:
+    def test_reclaims_rfkc_mkc_and_pvc(self):
+        site = gateway_site(tenants=1)
+        tenant = warm_tenant(site)
+        counts = evict_tenant_footprint(site.gw_endpoint, tenant)
+        assert counts == {"PVC": 1, "MKC": 1, "TFKC": 0, "RFKC": 1}
+
+    def test_reclamation_is_idempotent(self):
+        site = gateway_site(tenants=1)
+        tenant = warm_tenant(site)
+        evict_tenant_footprint(site.gw_endpoint, tenant)
+        counts = evict_tenant_footprint(site.gw_endpoint, tenant)
+        assert counts == {"PVC": 0, "MKC": 0, "TFKC": 0, "RFKC": 0}
+
+    def test_reclamation_counts_in_cache_stats(self):
+        site = gateway_site(tenants=1)
+        tenant = warm_tenant(site)
+        before = site.gw_endpoint.rfkc.stats.evictions
+        evict_tenant_footprint(site.gw_endpoint, tenant)
+        assert site.gw_endpoint.rfkc.stats.evictions == before + 1
+        assert site.gw_endpoint.mkd.mkc.stats.evictions == 1
+
+    def test_returning_tenant_rekeys_through_the_miss_path(self):
+        site = gateway_site(tenants=1)
+        tenant = warm_tenant(site)
+        derivations = site.gw_endpoint.registry.counter(
+            "flow_key_derivations", side="receive"
+        )
+        warm = derivations.value
+        evict_tenant_footprint(site.gw_endpoint, tenant)
+        # Soft state: the next datagram re-derives, nothing breaks.
+        send_protected(site, 0, b"back again")
+        assert serve_one(site) == "enqueued"
+        assert derivations.value == warm + 1
+
+    def test_unknown_flows_are_a_noop(self):
+        site = gateway_site(tenants=1)
+        tenant = warm_tenant(site)
+        tenant.flows.add(0xDEAD)  # never seen by the gateway's caches
+        counts = evict_tenant_footprint(site.gw_endpoint, tenant)
+        assert counts["RFKC"] == 1  # only the real flow reclaimed

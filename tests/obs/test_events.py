@@ -77,7 +77,7 @@ def test_constant_lists_are_closed_and_consistent():
     assert CACHE_LEVELS == ("PVC", "MKC", "TFKC", "RFKC")
     assert MISS_KINDS == ("cold", "capacity", "collision")
     names = [cls.__name__ for cls in EVENT_TYPES]
-    assert len(names) == len(set(names)) == 11
+    assert len(names) == len(set(names)) == 13
 
 
 def test_t_is_last_field_everywhere():

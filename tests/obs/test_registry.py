@@ -94,8 +94,8 @@ class TestCollectorsAndSnapshot:
 
 
 class TestCatalog:
-    def test_catalog_is_the_documented_twenty_one(self):
-        assert len(METRIC_CATALOG) == 21
+    def test_catalog_is_the_documented_twenty_six(self):
+        assert len(METRIC_CATALOG) == 26
 
     def test_specs_are_well_formed(self):
         for name, spec in METRIC_CATALOG.items():

@@ -13,6 +13,7 @@ import random
 
 import pytest
 
+from repro.core.config import FBSConfig
 from repro.netsim.link import LinkConditions
 from repro.transport import RetryPolicy, UdpTransportConfig, channel_pair
 from repro.transport.channel import SecureChannel, _reject_reason
@@ -110,13 +111,74 @@ class TestRetryPolicy:
         for attempt in range(6):
             base = min(0.1 * 2 ** attempt, 1.0)
             wait = policy.backoff(attempt, rng)
-            assert base * 0.5 <= wait <= base * 1.5
+            # Jitter widens the wait both ways, but the cap stays a hard
+            # ceiling on any single backoff.
+            assert base * 0.5 <= wait <= min(base * 1.5, policy.cap)
+
+    def test_cap_is_a_ceiling_even_with_jitter(self):
+        # Regression: the jitter multiplier used to be applied *after*
+        # the cap, so a capped attempt could wait up to cap * (1 +
+        # jitter) -- violating the documented "ceiling on any single
+        # backoff".  An rng pinned to the top of the jitter range makes
+        # the old behaviour deterministic: it returned cap * 1.5.
+        class TopOfRange:
+            @staticmethod
+            def uniform(lo, hi):
+                return hi
+
+        policy = RetryPolicy(initial=0.1, cap=1.0, jitter=0.5, attempts=8)
+        assert policy.backoff(10, TopOfRange()) == pytest.approx(1.0)
+        # Below the cap the jitter still widens upward as documented.
+        assert policy.backoff(0, TopOfRange()) == pytest.approx(0.15)
+        # And across many real draws nothing ever exceeds the cap.
+        rng = random.Random(2026)
+        assert all(
+            policy.backoff(attempt, rng) <= policy.cap
+            for attempt in range(8)
+            for _ in range(50)
+        )
 
     def test_jitter_is_seed_deterministic(self):
         policy = RetryPolicy(jitter=0.5)
         a = [policy.backoff(i, random.Random(9)) for i in range(4)]
         b = [policy.backoff(i, random.Random(9)) for i in range(4)]
         assert a == b
+
+
+class TestRequestDrainsTheWindow:
+    def test_duplicate_straggler_does_not_burn_the_attempt(self):
+        # Regression: request() used to treat any None from recv() as
+        # silence, so a rejected arrival early in the window (here: a
+        # duplicate straggler refused by the replay guard) ended the
+        # attempt immediately and triggered a resend -- even though the
+        # genuine reply was still in flight.  The fix drains the
+        # *remaining* timeout window within the attempt.
+        config = FBSConfig(replay_guard_size=64)
+        net, t_a, t_b = two_host_pair(seed=21)
+        ch_a, ch_b = channel_pair(t_a, t_b, seed=21, config=config)
+
+        async def scenario():
+            # Arm the replay guard: deliver one reply and accept it.
+            first = ch_b.endpoint.protect(b"first reply", ch_b.peer)
+            await t_b.send(first)
+            got = await ch_a.recv(timeout=1.0)
+            # Script the peer in virtual time: the straggler twin of
+            # the accepted datagram arrives early in the request
+            # window, the genuine reply later but still inside it.
+            late = ch_b.endpoint.protect(b"late reply", ch_b.peer)
+            sim = net.sim
+            sim.schedule_at(sim.now + 0.05, lambda: t_b.send_sync(first))
+            sim.schedule_at(sim.now + 0.15, lambda: t_b.send_sync(late))
+            reply = await ch_a.request(b"ping", timeout=0.5)
+            return got, reply
+
+        got, reply = asyncio.run(scenario())
+        assert got == b"first reply"
+        assert reply == b"late reply"
+        # The duplicate was rejected, but the attempt kept listening:
+        # exactly one send, no retransmission.
+        assert ch_a.ledger["sent"] == 1
+        assert ch_a.ledger["rejected"]["duplicate"] == 1
 
 
 class TestFirstContactRetryOverUdp:
