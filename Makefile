@@ -6,7 +6,7 @@ PYTHON ?= python3
 # no editable install needed.
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test lint lint-docs lint-cache-bench obs-check resilience-smoke load-smoke transport-smoke gateway-smoke bench bench-smoke examples reports clean
+.PHONY: install test lint lint-docs lint-cache-bench obs-check resilience-smoke load-smoke transport-smoke gateway-smoke traces-smoke traces-sweep bench bench-smoke examples reports clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -70,6 +70,18 @@ gateway-smoke:
 	$(PYTHON) -m repro.gateway --tenants 6 --flows 2 --rounds 6 --max-tenants 4 --seed 0 --out /tmp/FBS_gateway_a.json
 	$(PYTHON) -m repro.gateway --tenants 6 --flows 2 --rounds 6 --max-tenants 4 --seed 0 --out /tmp/FBS_gateway_b.json
 	cmp /tmp/FBS_gateway_a.json /tmp/FBS_gateway_b.json
+
+# Heavy-tailed trace sweep (CI tier): run the smoke THRESHOLD/cache
+# grid twice; fail on any Figure 11/13 gate (CLI exit 1) or on report
+# nondeterminism (cmp).
+traces-smoke:
+	$(PYTHON) -m repro.traces sweep --profile smoke --seed 0 --out /tmp/BENCH_traces_a.json
+	$(PYTHON) -m repro.traces sweep --profile smoke --seed 0 --out /tmp/BENCH_traces_b.json
+	cmp /tmp/BENCH_traces_a.json /tmp/BENCH_traces_b.json
+
+# Regenerate the checked-in full-profile report (nightly tier, ~2 min).
+traces-sweep:
+	$(PYTHON) benchmarks/bench_traces.py --json BENCH_traces.json
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

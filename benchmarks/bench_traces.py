@@ -1,0 +1,118 @@
+"""Heavy-tailed trace sweep harness -> BENCH_traces.json.
+
+Runs the :mod:`repro.traces.sweep` THRESHOLD / cache-geometry grid over
+the workload registry (Figures 11/12/13 methodology at 10-100x the
+paper's trace sizes) and writes the gated report.  Unlike the timing
+benches, this report is fully deterministic -- same seed, same bytes --
+so the file is *written*, not appended: CI runs the smoke tier twice
+and ``cmp``s the outputs, and the checked-in BENCH_traces.json is the
+full-profile run regenerable with ``make traces-sweep``.
+
+Gates (enforced by ``check_gates``, embedded in the report):
+
+* flow setups monotone non-increasing in THRESHOLD on every trace, and
+  strictly falling on the burst/idle heavy-tailed traces (Figure 13);
+* the uniform control's setup count does not move at all;
+* cache miss ratio monotone non-increasing in cache size per
+  (trace, side, ways) geometry (Figure 11);
+* every workload replays cleanly through the real batch datapath.
+
+Runs two ways: under pytest with the other benches (``make bench``),
+writing ``benchmarks/reports/traces_sweep.txt``; or as a CLI --
+``python benchmarks/bench_traces.py [--smoke] [--json PATH]``.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.traces.sweep import check_gates, run_sweep, sweep_spec  # noqa: E402
+
+DEFAULT_JSON = REPO_ROOT / "BENCH_traces.json"
+
+
+def run_traces_bench(profile: str = "full", seed: int = 0) -> dict:
+    """Run the sweep and enforce its gates; returns the report."""
+    report = run_sweep(sweep_spec(profile=profile, seed=seed))
+    check_gates(report)
+    return report
+
+
+def render_report(report: dict) -> str:
+    lines = [
+        f"trace sweep ({report['profile']}): seed {report['seed']}, "
+        f"{len(report['traces'])} traces, thresholds {report['thresholds']}, "
+        f"cache sizes {report['cache_sizes']} x ways {report['cache_ways']}",
+        "",
+        f"{'trace':>16}  {'records':>8}  {'MB':>7}  "
+        f"{'setups@min':>10}  {'setups@max':>10}  {'reduction':>9}  "
+        f"{'RFKC miss (small->big)':>24}",
+    ]
+    for name in sorted(report["traces"]):
+        data = report["traces"][name]
+        sweep = data["threshold_sweep"]
+        first, last = sweep[0]["flows"], sweep[-1]["flows"]
+        reduction = f"{(1 - last / first) * 100:.0f}%" if first else "-"
+        receive = [
+            row
+            for row in data["cache_sweep"]
+            if row["side"] == "receive" and row["ways"] == 1
+        ]
+        curve = " -> ".join(f"{row['miss_rate']:.3f}" for row in receive)
+        lines.append(
+            f"{name:>16}  {data['records']:>8}  "
+            f"{data['total_bytes'] / 1e6:>7.1f}  {first:>10}  {last:>10}  "
+            f"{reduction:>9}  {curve:>24}"
+        )
+    lines.append("")
+    failed = [gate for gate in report["gates"] if not gate["ok"]]
+    lines.append(
+        f"gates: {len(report['gates']) - len(failed)}/{len(report['gates'])} ok"
+    )
+    return "\n".join(lines)
+
+
+def write_report(path: pathlib.Path, report: dict) -> None:
+    """Deterministic write: same report, same bytes (cmp-able)."""
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+
+def test_traces_sweep(benchmark, report_writer):
+    report = benchmark.pedantic(
+        run_traces_bench, kwargs={"profile": "smoke"}, rounds=1, iterations=1
+    )
+    report_writer("traces_sweep", render_report(report))
+    assert report["ok"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small grid + short traces (CI tier); full tier is nightly",
+    )
+    parser.add_argument(
+        "--json",
+        type=pathlib.Path,
+        default=DEFAULT_JSON,
+        metavar="PATH",
+        help=f"report file to write (default: {DEFAULT_JSON})",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    report = run_traces_bench(
+        profile="smoke" if args.smoke else "full", seed=args.seed
+    )
+    write_report(args.json, report)
+    print(render_report(report))
+    print(f"\nwrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

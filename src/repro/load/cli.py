@@ -24,7 +24,7 @@ from typing import List, Optional
 
 from repro.load.engine import LoadError, LoadSpec, run_load, verify_merge
 from repro.load.report import build_report, render_report
-from repro.load.worker import WORKLOADS
+from repro.traces.registry import workload_names, workload_summaries
 from repro.transport.hop import HOP_NAMES
 
 __all__ = ["main"]
@@ -38,12 +38,17 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--workers", type=int, default=1, help="worker process count"
     )
+    # Choices and help text both derive from the one registry in
+    # repro.traces.registry: a newly registered workload shows up here
+    # (and in WorkerSpec validation) with no load-engine edits.
+    summaries = workload_summaries()
     parser.add_argument(
         "--workload",
-        choices=sorted(WORKLOADS),
+        choices=workload_names(),
         default=None,
         help="seeded workload to replay (default: synthetic; smoke "
-        "under --smoke)",
+        "under --smoke): "
+        + "; ".join(f"{name} = {summary}" for name, summary in summaries.items()),
     )
     parser.add_argument("--seed", type=int, default=0, help="workload seed")
     parser.add_argument(

@@ -31,7 +31,7 @@ equality check (they are still merged and reported).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.core.config import FBSConfig
 from repro.core.deploy import FBSDomain
@@ -42,13 +42,11 @@ from repro.core.policy import FiveTuplePolicy
 from repro.core.protocol import FBSEndpoint
 from repro.load.sharding import FlowSharder
 from repro.obs import JsonlSink, MetricsRegistry, Tracer, merge_snapshots, parse_metric_key
-from repro.traces.records import Trace
-from repro.traces.workloads import (
-    CampusLanWorkload,
-    SyntheticUniformWorkload,
-    WorkloadMix,
-    WwwServerWorkload,
-)
+
+# The workload catalogue lives in repro.traces.registry (one registry
+# for the load CLI choices, WorkerSpec replay, and the sweep harness);
+# WORKLOADS/build_workload stay importable from here for compatibility.
+from repro.traces.registry import WORKLOADS, build_workload
 
 __all__ = [
     "WORKLOADS",
@@ -57,50 +55,6 @@ __all__ = [
     "run_worker",
     "shard_invariant_view",
 ]
-
-#: Workload registry: name -> builder(seed, duration) -> generator.
-WORKLOADS = {
-    "smoke": lambda seed, duration: SyntheticUniformWorkload(
-        datagrams=600, flows=24, duration=duration or 30.0, seed=seed
-    ),
-    "synthetic": lambda seed, duration: SyntheticUniformWorkload(
-        datagrams=10_000, flows=64, duration=duration or 60.0, seed=seed
-    ),
-    "campus-lan": lambda seed, duration: CampusLanWorkload(
-        duration=duration or 600.0, clients=8, seed=seed
-    ),
-    "www-server": lambda seed, duration: WwwServerWorkload(
-        duration=duration or 600.0, hits_per_day=100_000.0, seed=seed
-    ),
-    "mix": lambda seed, duration: WorkloadMix(
-        CampusLanWorkload(duration=duration or 600.0, clients=8, seed=seed),
-        WwwServerWorkload(
-            duration=duration or 600.0, hits_per_day=100_000.0, seed=seed + 1
-        ),
-    ),
-}
-
-
-def build_workload(
-    name: str,
-    seed: int,
-    duration: Optional[float] = None,
-    datagrams: Optional[int] = None,
-) -> Trace:
-    """Generate the named workload's trace (same arguments, same trace)."""
-    try:
-        builder = WORKLOADS[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}"
-        ) from None
-    trace = builder(seed, duration).generate()
-    if datagrams is not None and len(trace) > datagrams:
-        trace = Trace(
-            list(trace)[:datagrams],
-            description=f"{trace.description} [first {datagrams}]",
-        )
-    return trace
 
 
 @dataclass(frozen=True)

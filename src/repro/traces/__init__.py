@@ -17,12 +17,20 @@ reproduction's substitution rule this package supplies:
   conversations (TELNET keystrokes, DNS, WWW hits), a few long-lived
   bulk flows (NFS, FTP data) carrying most bytes, quiet periods inside
   interactive sessions, and ephemeral-port reuse.
+* :mod:`repro.traces.heavytail` -- the heavy-tailed workload family:
+  piecewise-linear flow-size CDFs (web-search / data-mining presets),
+  on/off burst-idle arrivals, and flash-crowd rate modulation.
+* :mod:`repro.traces.registry` -- the single workload registry every
+  consumer (``repro.load --workload``, the sweep harness, the tests)
+  derives from.
 * :mod:`repro.traces.flowsim` -- the "flow simulation programs": replay
   a trace through the Section 7.1 security flow policy, exactly
   (per-5-tuple) or through a real hash-indexed flow state table and key
   caches.
 * :mod:`repro.traces.analysis` -- flow-characteristic statistics: size,
   duration, active-count time series, THRESHOLD sweeps, repeated flows.
+* :mod:`repro.traces.sweep` -- large-scale THRESHOLD / cache-geometry
+  sweeps over the registry with machine-checked Figure 11/13 gates.
 """
 
 from repro.traces.records import PacketRecord, Trace
@@ -32,8 +40,23 @@ from repro.traces.workloads import (
     WorkloadMix,
     WwwServerWorkload,
 )
+from repro.traces.heavytail import (
+    CDF_PRESETS,
+    CdfSampledWorkload,
+    FlashCrowd,
+    OnOffArrivals,
+    PiecewiseCdf,
+)
+from repro.traces.registry import (
+    WORKLOADS,
+    build_workload,
+    register_workload,
+    workload_names,
+    workload_summaries,
+)
 from repro.traces.flowsim import ExactFlowSimulator, FlowRecord, TableFlowSimulator, CacheSimulator
 from repro.traces.analysis import FlowAnalysis, ActiveFlowSeries
+from repro.traces.sweep import SweepError, SweepSpec, check_gates, run_sweep, sweep_spec
 
 __all__ = [
     "PacketRecord",
@@ -42,10 +65,25 @@ __all__ = [
     "WwwServerWorkload",
     "WorkloadMix",
     "SyntheticUniformWorkload",
+    "CdfSampledWorkload",
+    "PiecewiseCdf",
+    "CDF_PRESETS",
+    "OnOffArrivals",
+    "FlashCrowd",
+    "WORKLOADS",
+    "register_workload",
+    "workload_names",
+    "workload_summaries",
+    "build_workload",
     "ExactFlowSimulator",
     "TableFlowSimulator",
     "CacheSimulator",
     "FlowRecord",
     "FlowAnalysis",
     "ActiveFlowSeries",
+    "SweepError",
+    "SweepSpec",
+    "sweep_spec",
+    "run_sweep",
+    "check_gates",
 ]

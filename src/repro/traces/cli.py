@@ -17,12 +17,15 @@ import argparse
 import sys
 from typing import List, Optional, TextIO
 
+import json
+
 from repro.bench.reporting import render_cdf, render_table
 from repro.netsim.addresses import IPAddress
 from repro.traces import tcpdump
 from repro.traces.analysis import FlowAnalysis
 from repro.traces.flowsim import CacheSimulator
 from repro.traces.records import Trace
+from repro.traces.sweep import run_sweep, sweep_spec
 from repro.traces.workloads import CampusLanWorkload, WwwServerWorkload
 
 __all__ = ["main", "build_parser"]
@@ -46,9 +49,36 @@ def build_parser() -> argparse.ArgumentParser:
     ana.add_argument("trace", help="trace file or - for stdin")
     ana.add_argument("--threshold", type=float, default=600.0)
 
-    sweep = sub.add_parser("sweep", help="THRESHOLD sweep (Figures 13/14)")
-    sweep.add_argument("trace")
+    sweep = sub.add_parser(
+        "sweep",
+        help="THRESHOLD sweep over a trace file (Figures 13/14), or -- "
+        "with --workloads/--profile -- the full THRESHOLD/cache-geometry "
+        "sweep harness over registry workloads (gated, byte-stable JSON)",
+    )
+    sweep.add_argument(
+        "trace", nargs="?", default=None, help="trace file (file mode only)"
+    )
     sweep.add_argument("--thresholds", default="300,600,900,1200")
+    sweep.add_argument(
+        "--workloads",
+        default=None,
+        metavar="NAME[,NAME...]",
+        help="harness mode: sweep these registry workloads "
+        "(default in harness mode: every sweepable workload)",
+    )
+    sweep.add_argument(
+        "--profile",
+        choices=("smoke", "full"),
+        default=None,
+        help="harness mode grid size (enables harness mode)",
+    )
+    sweep.add_argument("--seed", type=int, default=0, help="harness mode seed")
+    sweep.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="harness mode: write the JSON report here (default: stdout)",
+    )
 
     cache = sub.add_parser("cachesim", help="key cache replay (Figure 11)")
     cache.add_argument("trace")
@@ -121,7 +151,52 @@ def _cmd_analyze(args, out: TextIO, stdin: TextIO) -> int:
     return 0
 
 
+def _cmd_sweep_harness(args, out: TextIO) -> int:
+    """The gated THRESHOLD/cache-geometry harness over the registry."""
+    workloads = (
+        tuple(args.workloads.split(",")) if args.workloads else None
+    )
+    try:
+        spec = sweep_spec(
+            profile=args.profile or "smoke", seed=args.seed, workloads=workloads
+        )
+    except ValueError as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
+    report = run_sweep(spec)
+    rendered = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+    else:
+        out.write(rendered)
+    for gate in report["gates"]:
+        verdict = "ok  " if gate["ok"] else "FAIL"
+        print(
+            f"  [{verdict}] {gate['gate']}[{gate['trace']}]: {gate['detail']}",
+            file=sys.stderr,
+        )
+    if not report["ok"]:
+        print("sweep: gates FAILED", file=sys.stderr)
+        return 1
+    print(
+        f"sweep: {len(report['traces'])} trace(s), "
+        f"{len(report['gates'])} gate(s) ok",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_sweep(args, out: TextIO, stdin: TextIO) -> int:
+    if args.workloads is not None or args.profile is not None:
+        return _cmd_sweep_harness(args, out)
+    if args.trace is None:
+        print(
+            "sweep: need a trace file, or --workloads/--profile for "
+            "harness mode",
+            file=sys.stderr,
+        )
+        return 2
     trace = _load_trace(args.trace, stdin)
     thresholds = [float(t) for t in args.thresholds.split(",")]
     rows = []

@@ -1,0 +1,334 @@
+"""Heavy-tailed, trace-driven workloads: CDF sampling, on/off, flash crowds.
+
+The paper validates its flow-setup policy and cache sizing against two
+captured traces (a campus LAN and a WWW server).  The synthetic
+generators in :mod:`repro.traces.workloads` reproduce those two traces'
+*shape*; this module generalizes the shape into a family:
+
+* :class:`PiecewiseCdf` -- a piecewise-linear flow-size CDF sampled by
+  inverse transform.  Ships the two classic datacenter distributions as
+  named presets (:data:`CDF_PRESETS`): ``web-search`` (DCTCP's
+  web-search cluster) and ``data-mining`` (VL2's data-mining cluster),
+  both famously tail-heavy -- the majority of flows are a few KB while
+  a tiny fraction of elephants carry nearly all bytes.
+* :class:`OnOffArrivals` -- burst/idle request arrivals: exponential ON
+  periods with Poisson request arrivals, exponential OFF (silent)
+  periods.  OFF gaps are what make flow setup counts depend on
+  THRESHOLD (a gap longer than THRESHOLD splits the conversation into a
+  new flow -- the Figure 13/14 mechanism).
+* :class:`FlashCrowd` -- multiplies the request arrival rate inside a
+  configured window (arrivals are drawn at the peak rate and thinned,
+  so the modulated process is still an exact inhomogeneous Poisson).
+* :class:`CdfSampledWorkload` -- N clients holding persistent
+  conversations with one server; each request pulls a CDF-sampled,
+  MSS-packetized response.  Emits the same :class:`~repro.traces.records.Trace`
+  interface every other workload does, so the flow simulators, the load
+  engine, and the gateway can all consume it.
+
+Everything is driven by ``random.Random(seed)`` created inside
+``generate()``: same arguments, same trace -- and ``generate()`` is
+idempotent, which the workload-determinism suite checks for every
+registered workload.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.netsim.addresses import FiveTuple, IPAddress
+from repro.netsim.ipv4 import IPProtocol
+from repro.traces.records import PacketRecord, Trace
+
+__all__ = [
+    "PiecewiseCdf",
+    "CDF_PRESETS",
+    "OnOffArrivals",
+    "FlashCrowd",
+    "CdfSampledWorkload",
+]
+
+_HTTP = 80
+_MSS = 1460
+
+
+class PiecewiseCdf:
+    """A piecewise-linear CDF over flow sizes, sampled by inversion.
+
+    ``points`` is a sequence of ``(probability, size_bytes)`` pairs with
+    strictly increasing probabilities ending at exactly 1.0 and
+    non-decreasing sizes.  A draw picks ``u ~ U(0, 1)`` and linearly
+    interpolates the size between the surrounding points (the segment
+    below the first point interpolates from ``min_size``).
+    """
+
+    def __init__(
+        self,
+        points: Sequence[Tuple[float, float]],
+        name: str = "custom",
+        min_size: int = 1,
+    ) -> None:
+        if not points:
+            raise ValueError("CDF needs at least one point")
+        previous_p = 0.0
+        previous_s = float(min_size)
+        for p, s in points:
+            if not previous_p < p <= 1.0:
+                raise ValueError(
+                    f"CDF probabilities must increase within (0, 1]: {p}"
+                )
+            if s < previous_s:
+                raise ValueError(f"CDF sizes must be non-decreasing: {s}")
+            previous_p, previous_s = p, s
+        if abs(points[-1][0] - 1.0) > 1e-12:
+            raise ValueError("CDF must end at probability 1.0")
+        if min_size < 1:
+            raise ValueError("min_size must be at least 1 byte")
+        self.name = name
+        self.min_size = min_size
+        self._points: List[Tuple[float, float]] = [
+            (float(p), float(s)) for p, s in points
+        ]
+
+    def sample(self, rng: _random.Random) -> int:
+        """Draw one flow size in bytes (at least ``min_size``)."""
+        u = rng.random()
+        p0, s0 = 0.0, float(self.min_size)
+        for p1, s1 in self._points:
+            if u <= p1:
+                span = p1 - p0
+                fraction = (u - p0) / span if span > 0 else 1.0
+                return max(self.min_size, int(round(s0 + (s1 - s0) * fraction)))
+            p0, s0 = p1, s1
+        return max(self.min_size, int(round(self._points[-1][1])))
+
+    def mean(self) -> float:
+        """Expected flow size in bytes (trapezoid over each segment)."""
+        total = 0.0
+        p0, s0 = 0.0, float(self.min_size)
+        for p1, s1 in self._points:
+            total += (p1 - p0) * (s0 + s1) / 2.0
+            p0, s0 = p1, s1
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PiecewiseCdf({self.name!r}, {len(self._points)} points)"
+
+
+def _kb(points: Sequence[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    return [(p, size_kb * 1024.0) for p, size_kb in points]
+
+
+#: Named flow-size CDF presets (sizes in bytes).  The sample points are
+#: the widely used web-search (DCTCP) and data-mining (VL2) flow-size
+#: distributions; both are heavy-tailed, the data-mining one extremely
+#: so (half of all flows fit in one packet while the top percentile is
+#: hundreds of MB).
+CDF_PRESETS: Dict[str, PiecewiseCdf] = {
+    "web-search": PiecewiseCdf(
+        _kb(
+            [
+                (0.15, 6), (0.20, 13), (0.30, 19), (0.40, 33),
+                (0.53, 53), (0.60, 133), (0.70, 667), (0.80, 1333),
+                (0.90, 3333), (0.97, 6667), (1.00, 20000),
+            ]
+        ),
+        name="web-search",
+        min_size=1024,
+    ),
+    "data-mining": PiecewiseCdf(
+        _kb(
+            [
+                (0.50, 1), (0.60, 2), (0.70, 3), (0.80, 7),
+                (0.90, 267), (0.95, 2107), (0.99, 66667), (1.00, 666667),
+            ]
+        ),
+        name="data-mining",
+        min_size=128,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class OnOffArrivals:
+    """Burst/idle request arrivals for one persistent conversation.
+
+    During an ON period (exponential, mean ``on_mean`` seconds) requests
+    arrive as a Poisson process at ``rate`` per second; an OFF period
+    (exponential, mean ``off_mean``) follows with no arrivals.  With
+    ``off_mean <= 0`` the source is always on (plain Poisson arrivals).
+    """
+
+    rate: float = 0.1
+    on_mean: float = 120.0
+    off_mean: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError("arrival rate must be positive")
+        if self.on_mean <= 0:
+            raise ValueError("on_mean must be positive")
+
+
+@dataclass(frozen=True)
+class FlashCrowd:
+    """Multiply the arrival rate inside ``[start, start + duration)``.
+
+    The modulated process stays exactly Poisson: candidates are drawn at
+    the peak rate and thinned outside the window, so a workload with a
+    flash crowd is *not* simply a workload plus extra records -- the
+    whole arrival stream re-randomizes, as a real crowd would.
+    """
+
+    start: float
+    duration: float
+    multiplier: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.duration <= 0:
+            raise ValueError("flash crowd window must be non-empty and non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("flash crowd multiplier must be >= 1")
+
+    def factor(self, t: float) -> float:
+        """Rate multiplier at time ``t``."""
+        if self.start <= t < self.start + self.duration:
+            return self.multiplier
+        return 1.0
+
+
+class CdfSampledWorkload:
+    """Clients pulling CDF-sized responses over persistent conversations.
+
+    ``clients`` hosts each keep one long-lived conversation (stable
+    5-tuple, resolver-style) with ``server_address``.  Each client runs
+    an independent :class:`OnOffArrivals` process; every arrival emits a
+    small request datagram and a paced, MSS-packetized response of
+    CDF-sampled size.  OFF gaps and think time between requests are what
+    THRESHOLD acts on: a small THRESHOLD splits each burst into its own
+    flow (many setups, many repeated flows), a large one bridges the
+    gaps (few setups) -- the paper's Figure 13/14 trade-off, now under
+    tail-heavy sizes instead of the synthetic-uniform load.
+
+    ``size_cap`` truncates the sampled sizes (the data-mining tail
+    reaches hundreds of MB; replaying that through a packet-level
+    simulator is pointless).  The cap is part of the workload identity:
+    same arguments, same trace.
+    """
+
+    def __init__(
+        self,
+        cdf: Union[str, PiecewiseCdf] = "web-search",
+        duration: float = 600.0,
+        clients: int = 32,
+        seed: int = 0,
+        arrivals: Optional[OnOffArrivals] = None,
+        flash_crowd: Optional[FlashCrowd] = None,
+        size_cap: int = 2_000_000,
+        mss: int = _MSS,
+        request_size: int = 256,
+        response_gap: float = 0.002,
+        server_address: str = "10.4.0.1",
+        client_network: str = "10.4.1.0",
+    ) -> None:
+        if isinstance(cdf, str):
+            try:
+                cdf = CDF_PRESETS[cdf]
+            except KeyError:
+                raise ValueError(
+                    f"unknown CDF preset {cdf!r}; choose from {sorted(CDF_PRESETS)}"
+                ) from None
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        if clients < 1:
+            raise ValueError("need at least one client")
+        if size_cap < 1 or mss < 1:
+            raise ValueError("size_cap and mss must be positive")
+        self.cdf = cdf
+        self.duration = duration
+        self.seed = seed
+        self.arrivals = arrivals or OnOffArrivals()
+        self.flash_crowd = flash_crowd
+        self.size_cap = size_cap
+        self.mss = mss
+        self.request_size = request_size
+        self.response_gap = response_gap
+        self.server = IPAddress(server_address)
+        base = int(IPAddress(client_network))
+        self.clients = [IPAddress(base + 1 + i) for i in range(clients)]
+
+    # -- arrival process -------------------------------------------------------
+
+    def _client_arrivals(self, rng: _random.Random) -> List[float]:
+        """Request times for one client (thinned inhomogeneous Poisson)."""
+        process = self.arrivals
+        peak_factor = self.flash_crowd.multiplier if self.flash_crowd else 1.0
+        peak_rate = process.rate * peak_factor
+        times: List[float] = []
+        # Stagger conversation starts so the trace has no t=0 stampede.
+        t = rng.uniform(0.0, min(30.0, self.duration / 4.0))
+        while t < self.duration:
+            on_end = min(self.duration, t + rng.expovariate(1.0 / process.on_mean))
+            while True:
+                t += rng.expovariate(peak_rate)
+                if t >= on_end:
+                    break
+                factor = self.flash_crowd.factor(t) if self.flash_crowd else 1.0
+                if rng.random() * peak_factor <= factor:
+                    times.append(t)
+            if process.off_mean <= 0:
+                t = on_end
+            else:
+                t = on_end + rng.expovariate(1.0 / process.off_mean)
+        return times
+
+    # -- trace assembly --------------------------------------------------------
+
+    def generate(self) -> Trace:
+        """Produce the trace (idempotent: same arguments, same bytes)."""
+        rng = _random.Random(self.seed)
+        records: List[PacketRecord] = []
+        for index, client in enumerate(self.clients):
+            sport = 1024 + (index % 2048)
+            forward = FiveTuple(
+                proto=IPProtocol.TCP,
+                saddr=client,
+                sport=sport,
+                daddr=self.server,
+                dport=_HTTP,
+            )
+            reverse = FiveTuple(
+                proto=IPProtocol.TCP,
+                saddr=self.server,
+                sport=_HTTP,
+                daddr=client,
+                dport=sport,
+            )
+            for start in self._client_arrivals(rng):
+                records.append(
+                    PacketRecord(time=start, five_tuple=forward, size=self.request_size)
+                )
+                size = min(self.cdf.sample(rng), self.size_cap)
+                t = start + rng.uniform(0.001, 0.02)
+                remaining = size
+                while remaining > 0 and t < self.duration:
+                    records.append(
+                        PacketRecord(
+                            time=t,
+                            five_tuple=reverse,
+                            size=min(self.mss, remaining),
+                        )
+                    )
+                    remaining -= self.mss
+                    t += self.response_gap
+        trace = Trace(
+            (r for r in records if r.time < self.duration),
+            description=(
+                f"cdf-{self.cdf.name} seed={self.seed} clients={len(self.clients)} "
+                f"dur={self.duration:.0f}s"
+                + (" flash-crowd" if self.flash_crowd else "")
+            ),
+        )
+        trace.sort()
+        return trace

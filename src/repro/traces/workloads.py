@@ -135,7 +135,6 @@ class CampusLanWorkload:
     ) -> None:
         self.duration = duration
         self.seed = seed
-        self._rng = _random.Random(seed)
         base = int(IPAddress(base_network))
         self.file_server = IPAddress(base + 250)
         self.compute_server = IPAddress(base + 251)
@@ -147,6 +146,9 @@ class CampusLanWorkload:
         self._x11_rate = x11_rate
         self._probe_rate = probe_rate
         self._nfs_fraction = nfs_clients_fraction
+        # RNG and port-allocator state are rebuilt inside generate() so
+        # repeated generate() calls yield byte-identical traces (the
+        # workload-determinism suite checks this for every workload).
         self._ports = _PortAllocator()
         self._resolver_ports: Dict[int, int] = {}
 
@@ -294,9 +296,11 @@ class CampusLanWorkload:
         return arrivals
 
     def generate(self) -> Trace:
-        """Produce the LAN trace."""
+        """Produce the LAN trace (idempotent: same seed, same bytes)."""
         em = _Emitter()
-        rng = self._rng
+        rng = _random.Random(self.seed)
+        self._ports = _PortAllocator()
+        self._resolver_ports = {}
         for client in self.clients:
             self._periodic_services(em, rng, client)
             if rng.random() < self._nfs_fraction:
@@ -333,7 +337,6 @@ class WwwServerWorkload:
     ) -> None:
         self.duration = duration
         self.seed = seed
-        self._rng = _random.Random(seed)
         self.server = IPAddress(server_address)
         base = int(IPAddress(client_network))
         self.client_pool = [IPAddress(base + 1 + i) for i in range(client_pool)]
@@ -341,9 +344,10 @@ class WwwServerWorkload:
         self._ports = _PortAllocator(low=1024, high=2048)
 
     def generate(self) -> Trace:
-        """Produce the WWW server-side trace."""
+        """Produce the WWW server-side trace (idempotent)."""
         em = _Emitter()
-        rng = self._rng
+        rng = _random.Random(self.seed)
+        self._ports = _PortAllocator(low=1024, high=2048)
         t = rng.expovariate(self._rate)
         while t < self.duration:
             client = rng.choice(self.client_pool)

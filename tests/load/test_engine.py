@@ -89,6 +89,18 @@ class TestWorkerDeterminism:
         assert inline["workers"] == spawned["workers"]
         assert inline["merged"] == spawned["merged"]
 
+    def test_heavy_tailed_workload_survives_spawn(self):
+        # The CDF-sampled workloads ship to spawn children as a
+        # (name, seed, duration) triple in the pickled WorkerSpec; the
+        # child's regenerated stream must match the inline replay.
+        kw = dict(
+            workload="cdf-web-search", seed=1, duration=120.0, datagrams=300
+        )
+        inline = run_load(LoadSpec(workers=2, inline=True, **kw))
+        spawned = run_load(LoadSpec(workers=2, inline=False, **kw))
+        assert inline["workers"] == spawned["workers"]
+        assert inline["merged"] == spawned["merged"]
+
 
 class TestReport:
     def test_reports_are_byte_stable(self):

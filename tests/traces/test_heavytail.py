@@ -1,0 +1,152 @@
+"""Heavy-tailed workload family: CDF sampling, on/off arrivals, flash
+crowds, and the structural properties the sweep gates depend on."""
+
+import random
+
+import pytest
+
+from repro.traces.analysis import FlowAnalysis
+from repro.traces.heavytail import (
+    CDF_PRESETS,
+    CdfSampledWorkload,
+    FlashCrowd,
+    OnOffArrivals,
+    PiecewiseCdf,
+)
+
+
+class TestPiecewiseCdf:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PiecewiseCdf([])
+
+    def test_rejects_non_increasing_probabilities(self):
+        with pytest.raises(ValueError, match="increase"):
+            PiecewiseCdf([(0.5, 100), (0.5, 200), (1.0, 300)])
+
+    def test_rejects_decreasing_sizes(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            PiecewiseCdf([(0.5, 200), (1.0, 100)])
+
+    def test_rejects_cdf_not_ending_at_one(self):
+        with pytest.raises(ValueError, match="1.0"):
+            PiecewiseCdf([(0.5, 100), (0.9, 200)])
+
+    def test_samples_stay_within_support(self):
+        cdf = PiecewiseCdf([(0.5, 1000), (1.0, 9000)], min_size=100)
+        rng = random.Random(0)
+        sizes = [cdf.sample(rng) for _ in range(2000)]
+        assert all(100 <= s <= 9000 for s in sizes)
+        # Both segments get hit.
+        assert any(s < 1000 for s in sizes) and any(s > 1000 for s in sizes)
+
+    def test_empirical_mean_matches_analytic(self):
+        cdf = PiecewiseCdf([(0.5, 1000), (1.0, 9000)], min_size=100)
+        rng = random.Random(1)
+        empirical = sum(cdf.sample(rng) for _ in range(20000)) / 20000
+        assert empirical == pytest.approx(cdf.mean(), rel=0.05)
+
+    def test_presets_are_heavy_tailed(self):
+        for name, cdf in CDF_PRESETS.items():
+            rng = random.Random(2)
+            sizes = sorted(cdf.sample(rng) for _ in range(5000))
+            median = sizes[len(sizes) // 2]
+            p99 = sizes[int(len(sizes) * 0.99)]
+            # The defining shape: the tail dwarfs the typical flow.
+            assert p99 > 50 * median, name
+
+    def test_data_mining_tail_heavier_than_web_search(self):
+        assert CDF_PRESETS["data-mining"].mean() > CDF_PRESETS["web-search"].mean()
+
+
+class TestArrivalProcesses:
+    def test_onoff_validation(self):
+        with pytest.raises(ValueError):
+            OnOffArrivals(rate=0.0)
+        with pytest.raises(ValueError):
+            OnOffArrivals(rate=1.0, on_mean=0.0)
+
+    def test_flash_crowd_validation(self):
+        with pytest.raises(ValueError):
+            FlashCrowd(start=-1.0, duration=10.0, multiplier=2.0)
+        with pytest.raises(ValueError):
+            FlashCrowd(start=0.0, duration=0.0, multiplier=2.0)
+        with pytest.raises(ValueError):
+            FlashCrowd(start=0.0, duration=10.0, multiplier=0.5)
+
+    def test_flash_crowd_factor_window(self):
+        crowd = FlashCrowd(start=100.0, duration=50.0, multiplier=8.0)
+        assert crowd.factor(99.9) == 1.0
+        assert crowd.factor(100.0) == 8.0
+        assert crowd.factor(149.9) == 8.0
+        assert crowd.factor(150.0) == 1.0
+
+
+class TestCdfSampledWorkload:
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError, match="unknown CDF preset"):
+            CdfSampledWorkload(cdf="no-such-cdf")
+
+    def test_generate_is_deterministic_and_idempotent(self):
+        workload = CdfSampledWorkload(duration=120.0, clients=4, seed=5)
+        first = workload.generate()
+        second = workload.generate()  # same instance, fresh RNG inside
+        rebuilt = CdfSampledWorkload(duration=120.0, clients=4, seed=5).generate()
+        assert list(first) == list(second) == list(rebuilt)
+
+    def test_different_seeds_differ(self):
+        a = CdfSampledWorkload(duration=120.0, clients=4, seed=5).generate()
+        b = CdfSampledWorkload(duration=120.0, clients=4, seed=6).generate()
+        assert list(a) != list(b)
+
+    def test_persistent_five_tuples(self):
+        # Each client keeps one stable conversation: exactly two
+        # 5-tuples (request + response direction) per client, so
+        # THRESHOLD -- not port churn -- decides the flow count.
+        clients = 6
+        trace = CdfSampledWorkload(
+            duration=200.0, clients=clients, seed=0
+        ).generate()
+        tuples = {r.five_tuple for r in trace}
+        assert len(tuples) <= 2 * clients
+
+    def test_sizes_respect_cap_and_pacing(self):
+        cap = 8192
+        workload = CdfSampledWorkload(
+            duration=200.0, clients=4, seed=1, size_cap=cap, mss=1460
+        )
+        trace = workload.generate()
+        assert all(r.size <= 1460 for r in trace)
+        assert all(0 <= r.time < 200.0 for r in trace)
+        times = [r.time for r in trace]
+        assert times == sorted(times)
+
+    def test_off_gaps_make_threshold_matter(self):
+        trace = CdfSampledWorkload(
+            duration=600.0,
+            clients=8,
+            seed=3,
+            arrivals=OnOffArrivals(rate=0.5, on_mean=20.0, off_mean=120.0),
+            size_cap=65_536,
+        ).generate()
+        short = FlowAnalysis.from_trace(trace, threshold=15.0).total_flows
+        long = FlowAnalysis.from_trace(trace, threshold=600.0).total_flows
+        assert short > long
+
+    def test_flash_crowd_concentrates_arrivals(self):
+        duration = 600.0
+        crowd = FlashCrowd(start=200.0, duration=100.0, multiplier=10.0)
+        trace = CdfSampledWorkload(
+            duration=duration,
+            clients=16,
+            seed=4,
+            arrivals=OnOffArrivals(rate=0.05, on_mean=180.0, off_mean=60.0),
+            flash_crowd=crowd,
+            size_cap=65_536,
+        ).generate()
+        requests = [r.time for r in trace if r.five_tuple.dport == 80]
+        inside = sum(1 for t in requests if 200.0 <= t < 300.0)
+        before = sum(1 for t in requests if 100.0 <= t < 200.0)
+        # 10x the rate over an equal-length window: the spike must be
+        # unmistakable even under Poisson noise.
+        assert inside > 3 * max(1, before)
